@@ -1,0 +1,91 @@
+"""Helpers shared between benchmark files (sweeps are expensive, so
+their results are cached across the figure benches that slice them)."""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro import Database, ExtractionConfig, StorageFormat
+from repro.bench.datasets import TPCH_SF, TWITTER_TWEETS, YELP_BUSINESSES
+from repro.bench.harness import geomean, time_query
+from repro.workloads import tpch, twitter, yelp
+from repro.workloads.tpch import TPCH_QUERIES
+
+#: query subset used by the geo-mean sweeps (the full 22-query suite is
+#: run by bench_table1; sweeps would multiply it by every configuration)
+SWEEP_TPCH_QUERIES = [1, 3, 4, 6, 12, 14]
+
+TILE_SIZES = [64, 256, 1024, 4096]
+PARTITION_SIZES = [1, 4, 8]
+
+
+def tpch_geomean(db: Database, queries=None, options=None) -> float:
+    queries = queries or SWEEP_TPCH_QUERIES
+    return geomean([time_query(db, TPCH_QUERIES[q], options, repeats=1)
+                    for q in queries])
+
+
+@lru_cache(maxsize=None)
+def shuffled_documents() -> tuple:
+    return tuple(tpch.generate_combined(TPCH_SF, shuffled=True))
+
+
+@lru_cache(maxsize=None)
+def yelp_documents() -> tuple:
+    return tuple(yelp.YelpGenerator(YELP_BUSINESSES).combined())
+
+
+@lru_cache(maxsize=None)
+def twitter_documents(evolving: bool = False) -> tuple:
+    return tuple(twitter.TwitterGenerator(TWITTER_TWEETS,
+                                          evolving=evolving).stream())
+
+
+def load_db(table: str, documents, tile_size: int, partition_size: int,
+            storage_format=StorageFormat.TILES, register_tpch=False,
+            **config_kwargs) -> Tuple[Database, float]:
+    """Load documents with one (tile size, partition size) setting;
+    returns (db, load seconds)."""
+    config = ExtractionConfig(tile_size=tile_size,
+                              partition_size=partition_size,
+                              **config_kwargs)
+    db = Database(storage_format, config)
+    started = time.perf_counter()
+    relation = db.load_table(table, list(documents), storage_format, config)
+    seconds = time.perf_counter() - started
+    if register_tpch:
+        for name in tpch.TABLE_NAMES:
+            db.register(name, relation)
+    return db, seconds
+
+
+@lru_cache(maxsize=None)
+def sweep(workload: str) -> Dict[Tuple[int, int], Tuple[float, float]]:
+    """(tile size, partition size) -> (geo-mean query s, load s).
+
+    ``workload`` is one of "shuffled-tpch", "yelp", "twitter".
+    """
+    results: Dict[Tuple[int, int], Tuple[float, float]] = {}
+    for tile_size in TILE_SIZES:
+        for partition_size in PARTITION_SIZES:
+            if workload == "shuffled-tpch":
+                db, load_s = load_db("tpch_combined", shuffled_documents(),
+                                     tile_size, partition_size,
+                                     register_tpch=True)
+                query_s = tpch_geomean(db)
+            elif workload == "yelp":
+                db, load_s = load_db("yelp", yelp_documents(), tile_size,
+                                     partition_size)
+                query_s = geomean([
+                    time_query(db, text, repeats=1)
+                    for text in yelp.YELP_QUERIES.values()])
+            else:
+                db, load_s = load_db("tweets", twitter_documents(), tile_size,
+                                     partition_size)
+                query_s = geomean([
+                    time_query(db, text, repeats=1)
+                    for text in twitter.TWITTER_QUERIES.values()])
+            results[(tile_size, partition_size)] = (query_s, load_s)
+    return results

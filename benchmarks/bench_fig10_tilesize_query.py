@@ -1,0 +1,43 @@
+"""Figure 10: shuffled-TPC-H geo-mean query time over tile size, one
+series per partition size.
+
+Paper: more partitions reorder better; tile sizes around 2^10-2^12 are
+the sweet spot.  At our reduced data scale the tile-size axis is scaled
+down accordingly (DESIGN.md); the expected shape is partition size 8
+(at a mid tile size) beating partition size 1.
+"""
+
+from _shared import PARTITION_SIZES, TILE_SIZES, sweep
+
+
+def test_fig10_tile_size_query_geomean(benchmark, report):
+    results = benchmark.pedantic(lambda: sweep("shuffled-tpch"),
+                                 rounds=1, iterations=1)
+    out = report("fig10_tilesize_query",
+                 "Figure 10 - shuffled TPC-H geo-mean [s] per tile size "
+                 "(columns: partition size)")
+    rows = []
+    for tile_size in TILE_SIZES:
+        rows.append([tile_size] + [
+            results[(tile_size, partition)][0]
+            for partition in PARTITION_SIZES])
+    out.table(["tile size"] + [f"partition {p}" for p in PARTITION_SIZES],
+              rows)
+    out.emit()
+
+    # reordering across more tiles helps on shuffled data
+    mid = TILE_SIZES[1]
+    assert results[(mid, 8)][0] < results[(mid, 1)][0]
+
+
+def test_fig10_partition8_beats_partition1_overall(benchmark, report):
+    results = sweep("shuffled-tpch")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.bench.harness import geomean
+    p1 = geomean([results[(t, 1)][0] for t in TILE_SIZES])
+    p8 = geomean([results[(t, 8)][0] for t in TILE_SIZES])
+    out = report("fig10_partition_summary",
+                 "Figure 10 (summary) - geo-mean across tile sizes")
+    out.table(["partition size", "geo-mean [s]"], [[1, p1], [8, p8]])
+    out.emit()
+    assert p8 < p1

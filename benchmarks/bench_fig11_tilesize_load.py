@@ -1,0 +1,33 @@
+"""Figure 11: loading time of shuffled TPC-H over tile size and
+partition size.
+
+Paper: small tile sizes with partition sizes <= 8 add no overhead;
+very large tiles (and huge partitions) make loading expensive because
+mining and reordering grow super-linearly in the partition.  Expected
+shape: loading time increases towards the large end of the sweep for
+large partitions.
+"""
+
+from _shared import PARTITION_SIZES, TILE_SIZES, sweep
+
+
+def test_fig11_tile_size_loading(benchmark, report):
+    results = benchmark.pedantic(lambda: sweep("shuffled-tpch"),
+                                 rounds=1, iterations=1)
+    out = report("fig11_tilesize_load",
+                 "Figure 11 - shuffled TPC-H loading time [s] per tile "
+                 "size (columns: partition size)")
+    rows = []
+    for tile_size in TILE_SIZES:
+        rows.append([tile_size] + [
+            results[(tile_size, partition)][1]
+            for partition in PARTITION_SIZES])
+    out.table(["tile size"] + [f"partition {p}" for p in PARTITION_SIZES],
+              rows)
+    out.emit()
+
+    # the recommended settings do not make loading explode: the largest
+    # partition sweep point costs more than the small recommended one
+    small = results[(TILE_SIZES[1], 8)][1]
+    large = results[(TILE_SIZES[-1], 8)][1]
+    assert small <= large * 3  # loading stays in the same ballpark

@@ -1,0 +1,32 @@
+"""Figure 12: Yelp geo-mean query time over tile size / partition size.
+
+Paper: the curve is flat-ish with a shallow optimum around 2^10-2^12;
+even naturally-ordered data benefits slightly from reordering because
+parallel loading interleaves document types.
+"""
+
+from _shared import PARTITION_SIZES, TILE_SIZES, sweep
+
+
+def test_fig12_yelp_sweep(benchmark, report):
+    results = benchmark.pedantic(lambda: sweep("yelp"),
+                                 rounds=1, iterations=1)
+    out = report("fig12_yelp_sweep",
+                 "Figure 12 - Yelp geo-mean [s] per tile size "
+                 "(columns: partition size)")
+    rows = []
+    for tile_size in TILE_SIZES:
+        rows.append([tile_size] + [
+            results[(tile_size, partition)][0]
+            for partition in PARTITION_SIZES])
+    out.table(["tile size"] + [f"partition {p}" for p in PARTITION_SIZES],
+              rows)
+    out.emit()
+
+    # interleaved multi-type data: reordering (partition > 1) never
+    # hurts badly across the sweep (single-run timings are noisy on a
+    # small box, so compare overall geo-means with headroom)
+    from repro.bench.harness import geomean
+    p1 = geomean([results[(t, 1)][0] for t in TILE_SIZES])
+    p8 = geomean([results[(t, 8)][0] for t in TILE_SIZES])
+    assert p8 <= p1 * 2.0

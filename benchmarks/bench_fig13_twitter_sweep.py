@@ -1,0 +1,29 @@
+"""Figure 13: Twitter geo-mean query time over tile size / partition
+size.
+
+Paper: mid tile sizes win; the delete documents (a globally infrequent
+structure) profit from reordering into dedicated tiles.
+"""
+
+from _shared import PARTITION_SIZES, TILE_SIZES, sweep
+
+
+def test_fig13_twitter_sweep(benchmark, report):
+    results = benchmark.pedantic(lambda: sweep("twitter"),
+                                 rounds=1, iterations=1)
+    out = report("fig13_twitter_sweep",
+                 "Figure 13 - Twitter geo-mean [s] per tile size "
+                 "(columns: partition size)")
+    rows = []
+    for tile_size in TILE_SIZES:
+        rows.append([tile_size] + [
+            results[(tile_size, partition)][0]
+            for partition in PARTITION_SIZES])
+    out.table(["tile size"] + [f"partition {p}" for p in PARTITION_SIZES],
+              rows)
+    out.emit()
+
+    values = [value[0] for value in results.values()]
+    assert min(values) > 0
+    # the spread across the sweep stays bounded (robust setting space)
+    assert max(values) < 25 * min(values)

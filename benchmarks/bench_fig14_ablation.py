@@ -1,0 +1,81 @@
+"""Figure 14: optimization ablations (Sections 4.8, 4.9).
+
+Configurations per workload (TPC-H, shuffled TPC-H, Yelp):
+
+* ``Tiles``   — everything on;
+* ``no Skip`` — tile skipping disabled (Section 4.8);
+* ``no Date`` — date/time extraction disabled (Section 4.9), date
+  predicates fall back to per-tuple string parsing;
+* ``no Opt``  — both disabled.
+
+Paper: each optimization contributes; skipping matters most when many
+document types share a relation, date extraction matters for
+date-constrained queries.
+"""
+
+from repro.bench import datasets
+from repro.bench.harness import geomean, time_query
+from repro.engine.plan import QueryOptions
+from repro.storage.formats import StorageFormat
+from repro.workloads.tpch import TPCH_QUERIES
+from repro.workloads.yelp import YELP_QUERIES
+from _shared import SWEEP_TPCH_QUERIES
+
+SKIP_ON = QueryOptions(enable_skipping=True)
+SKIP_OFF = QueryOptions(enable_skipping=False)
+
+
+def _tpch_geomean(db, options):
+    return geomean([time_query(db, TPCH_QUERIES[q], options)
+                    for q in SWEEP_TPCH_QUERIES])
+
+
+def _yelp_geomean(db, options):
+    return geomean([time_query(db, text, options)
+                    for text in YELP_QUERIES.values()])
+
+
+def _configs(db_dates, db_nodates, runner):
+    return {
+        "Tiles": runner(db_dates, SKIP_ON),
+        "no Skip": runner(db_dates, SKIP_OFF),
+        "no Date": runner(db_nodates, SKIP_ON),
+        "no Opt": runner(db_nodates, SKIP_OFF),
+    }
+
+
+def test_fig14_optimization_ablation(benchmark, report):
+    measured = {
+        "TPC-H": _configs(
+            datasets.tpch_db(StorageFormat.TILES),
+            datasets.tpch_db(StorageFormat.TILES, detect_dates=False),
+            _tpch_geomean),
+        "Shuffled": _configs(
+            datasets.tpch_db(StorageFormat.TILES, shuffled=True),
+            datasets.tpch_db(StorageFormat.TILES, shuffled=True,
+                             detect_dates=False),
+            _tpch_geomean),
+        "Yelp": _configs(
+            datasets.yelp_db(StorageFormat.TILES),
+            datasets.yelp_db(StorageFormat.TILES, detect_dates=False),
+            _yelp_geomean),
+    }
+    benchmark.pedantic(
+        lambda: datasets.tpch_db(StorageFormat.TILES).sql(
+            TPCH_QUERIES[6], SKIP_OFF),
+        rounds=3, iterations=1)
+
+    out = report("fig14_ablation",
+                 "Figure 14 - geo-mean [s] per optimization level")
+    configs = ["no Opt", "no Date", "no Skip", "Tiles"]
+    rows = [[workload] + [measured[workload][config] for config in configs]
+            for workload in measured]
+    out.table(["workload"] + configs, rows)
+    out.emit()
+
+    for workload, values in measured.items():
+        assert values["Tiles"] <= values["no Opt"] * 1.05, workload
+    # date extraction pays off on date-heavy TPC-H
+    assert measured["TPC-H"]["Tiles"] < measured["TPC-H"]["no Date"]
+    # skipping pays off on the combined relation
+    assert measured["TPC-H"]["Tiles"] < measured["TPC-H"]["no Skip"]

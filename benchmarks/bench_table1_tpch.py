@@ -1,0 +1,95 @@
+"""Table 1: execution times for all 22 TPC-H queries (combined JSON).
+
+Paper: PostgreSQL / Spark / Hyper externals plus Umbra-internal JSON,
+JSONB, Sinew and Tiles.  Here the four *internal* competitors run in
+one engine (the externals are substituted, see DESIGN.md); the expected
+shape is Tiles fastest on (almost) every query, JSON text slowest.
+"""
+
+import pytest
+
+from repro.bench import datasets, geomean, time_query
+from repro.engine.plan import QueryOptions
+from repro.storage.formats import StorageFormat
+from repro.workloads.tpch import TPCH_QUERIES
+
+#: Umbra-internal reference times from the paper's Table 1 (seconds)
+PAPER_TABLE1 = {
+    1: (1.725, 0.178, 0.122, 0.030), 2: (1.608, 0.584, 0.637, 0.035),
+    3: (0.675, 0.280, 0.259, 0.030), 4: (0.692, 0.227, 0.228, 0.026),
+    5: (1.340, 0.372, 0.326, 0.045), 6: (0.254, 0.119, 0.085, 0.010),
+    7: (1.177, 0.429, 0.351, 0.103), 8: (1.469, 0.474, 0.416, 0.062),
+    9: (2.576, 0.395, 0.370, 0.153), 10: (1.362, 0.388, 0.294, 0.067),
+    11: (1.070, 0.344, 0.353, 0.068), 12: (0.450, 0.286, 0.289, 0.061),
+    13: (0.665, 0.149, 0.291, 0.044), 14: (0.392, 0.171, 0.142, 0.017),
+    15: (0.399, 0.211, 0.185, 0.018), 16: (0.629, 0.201, 0.273, 0.048),
+    17: (0.567, 0.173, 0.091, 0.026), 18: (0.949, 0.260, 0.179, 0.050),
+    19: (1.834, 0.213, 0.170, 0.057), 20: (0.974, 0.355, 0.348, 0.042),
+    21: (1.787, 0.615, 0.479, 0.103), 22: (0.566, 0.172, 0.180, 0.016),
+}
+
+FORMATS = [StorageFormat.JSON, StorageFormat.JSONB, StorageFormat.SINEW,
+           StorageFormat.TILES]
+
+
+def test_table1_tpch(benchmark, report):
+    dbs = {fmt: datasets.tpch_db(fmt) for fmt in FORMATS}
+
+    measured = {}
+    for query in sorted(TPCH_QUERIES):
+        measured[query] = tuple(
+            time_query(dbs[fmt], TPCH_QUERIES[query]) for fmt in FORMATS
+        )
+
+    # the pytest-benchmark kernel: Q1 on tiles (the headline scan query)
+    benchmark.pedantic(
+        lambda: dbs[StorageFormat.TILES].sql(TPCH_QUERIES[1]),
+        rounds=3, iterations=1,
+    )
+
+    out = report("table1_tpch", "Table 1 - TPC-H query times [s] "
+                                "(paper values: Umbra-internal columns)")
+    out.note(f"combined TPC-H, {dbs[StorageFormat.TILES].table('lineitem').row_count} "
+             f"documents; externals substituted (see DESIGN.md)")
+    rows = []
+    for query in sorted(TPCH_QUERIES):
+        paper = PAPER_TABLE1[query]
+        ours = measured[query]
+        rows.append([f"Q{query}",
+                     *(f"{value:.3f}" for value in ours),
+                     *(f"{value:.3f}" for value in paper)])
+    out.table(
+        ["query", "JSON", "JSONB", "Sinew", "Tiles",
+         "paper:JSON", "paper:JSONB", "paper:Sinew", "paper:Tiles"],
+        rows,
+    )
+    gm = {fmt: geomean([measured[q][i] for q in measured])
+          for i, fmt in enumerate(FORMATS)}
+    out.section("geometric means")
+    out.table(["format", "geo-mean [s]"],
+              [[fmt.value, gm[fmt]] for fmt in FORMATS])
+    out.emit()
+
+    # shape assertions: Tiles beats JSONB and raw JSON overall
+    assert gm[StorageFormat.TILES] < gm[StorageFormat.JSONB]
+    assert gm[StorageFormat.TILES] < gm[StorageFormat.JSON]
+    assert gm[StorageFormat.JSONB] < gm[StorageFormat.JSON]
+
+
+def test_table1_no_statistics_ablation(benchmark, report):
+    """Extra ablation (DESIGN.md §6): statistics-blind join ordering."""
+    db = datasets.tpch_db(StorageFormat.TILES)
+    options = QueryOptions(use_statistics=False)
+    join_queries = [3, 5, 10, 18]
+    with_stats = geomean([time_query(db, TPCH_QUERIES[q])
+                          for q in join_queries])
+    without = geomean([time_query(db, TPCH_QUERIES[q], options)
+                       for q in join_queries])
+    benchmark.pedantic(lambda: db.sql(TPCH_QUERIES[18], options),
+                       rounds=2, iterations=1)
+    out = report("table1_no_stats", "Ablation: optimizer statistics "
+                                    "(join queries Q3/Q5/Q10/Q18)")
+    out.table(["config", "geo-mean [s]"],
+              [["with statistics", with_stats],
+               ["without statistics", without]])
+    out.emit()

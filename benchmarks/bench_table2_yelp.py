@@ -1,0 +1,53 @@
+"""Table 2: execution times for the five Yelp queries.
+
+Paper (Umbra-internal columns, seconds):
+Q1 JSONB 0.487 / Sinew 0.366 / Tiles 0.293; Q2 0.191/0.163/0.044;
+Q3 0.444/0.302/0.145; Q4 0.105/0.013/0.013; Q5 0.273/0.160/0.088.
+Expected shape: Tiles <= Sinew <= JSONB << JSON on every query, with
+Q4 (the star-rating aggregate, Sinew's best case) nearly tied between
+Sinew and Tiles.
+"""
+
+from repro.bench import datasets, geomean, time_query
+from repro.storage.formats import StorageFormat
+from repro.workloads.yelp import YELP_QUERIES
+
+PAPER = {
+    1: (6.068, 0.487, 0.366, 0.293),
+    2: (0.813, 0.191, 0.163, 0.044),
+    3: (3.262, 0.444, 0.302, 0.145),
+    4: (0.843, 0.105, 0.013, 0.013),
+    5: (2.698, 0.273, 0.160, 0.088),
+}
+FORMATS = [StorageFormat.JSON, StorageFormat.JSONB, StorageFormat.SINEW,
+           StorageFormat.TILES]
+
+
+def test_table2_yelp(benchmark, report):
+    dbs = {fmt: datasets.yelp_db(fmt) for fmt in FORMATS}
+    measured = {
+        query: tuple(time_query(dbs[fmt], text) for fmt in FORMATS)
+        for query, text in YELP_QUERIES.items()
+    }
+    benchmark.pedantic(lambda: dbs[StorageFormat.TILES].sql(YELP_QUERIES[4]),
+                       rounds=3, iterations=1)
+
+    out = report("table2_yelp", "Table 2 - Yelp query times [s]")
+    rows = [
+        [f"Q{query}", *measured[query],
+         *(f"p:{v:.3f}" for v in PAPER[query])]
+        for query in sorted(YELP_QUERIES)
+    ]
+    out.table(["query", "JSON", "JSONB", "Sinew", "Tiles",
+               "paper:JSON", "paper:JSONB", "paper:Sinew", "paper:Tiles"],
+              rows)
+    gm = {fmt: geomean([measured[q][i] for q in measured])
+          for i, fmt in enumerate(FORMATS)}
+    out.section("geometric means")
+    out.table(["format", "geo-mean [s]"],
+              [[fmt.value, gm[fmt]] for fmt in FORMATS])
+    out.emit()
+
+    assert gm[StorageFormat.TILES] < gm[StorageFormat.JSONB]
+    assert gm[StorageFormat.TILES] <= gm[StorageFormat.SINEW]
+    assert gm[StorageFormat.JSONB] < gm[StorageFormat.JSON]

@@ -1,0 +1,60 @@
+"""Table 3: execution times for the five Twitter queries, including
+Tiles-* (high-cardinality array extraction).
+
+Paper (seconds): e.g. Q3 JSONB 0.191 / Sinew 0.204 / Tiles 0.215 /
+Tiles-* 0.017 — plain tiles cannot materialize the mention/hashtag
+arrays, so Q3/Q4 only win once the arrays live in child relations.
+"""
+
+from repro.bench import datasets, geomean, time_query
+from repro.storage.formats import StorageFormat
+from repro.workloads.twitter import TWITTER_QUERIES, TWITTER_QUERIES_STAR
+
+PAPER = {
+    1: (0.419, 0.255, 0.116, 0.116),
+    2: (0.181, 0.191, 0.091, 0.091),
+    3: (0.191, 0.204, 0.215, 0.017),
+    4: (0.229, 0.212, 0.206, 0.022),
+    5: (0.164, 0.049, 0.057, 0.058),
+}
+FORMATS = [StorageFormat.JSON, StorageFormat.JSONB, StorageFormat.SINEW,
+           StorageFormat.TILES, StorageFormat.TILES_STAR]
+
+
+def test_table3_twitter(benchmark, report):
+    dbs = {fmt: datasets.twitter_db(fmt) for fmt in FORMATS}
+    measured = {}
+    for query in sorted(TWITTER_QUERIES):
+        row = []
+        for fmt in FORMATS:
+            queries = (TWITTER_QUERIES_STAR
+                       if fmt == StorageFormat.TILES_STAR
+                       else TWITTER_QUERIES)
+            row.append(time_query(dbs[fmt], queries[query]))
+        measured[query] = tuple(row)
+    benchmark.pedantic(
+        lambda: dbs[StorageFormat.TILES_STAR].sql(TWITTER_QUERIES_STAR[4]),
+        rounds=3, iterations=1)
+
+    out = report("table3_twitter", "Table 3 - Twitter query times [s]")
+    out.note("paper: JSONB/Sinew/Tiles/Tiles-* columns shown per query")
+    rows = [
+        [f"Q{query}", *measured[query],
+         *(f"p:{v:.3f}" for v in PAPER[query])]
+        for query in sorted(TWITTER_QUERIES)
+    ]
+    out.table(["query", "JSON", "JSONB", "Sinew", "Tiles", "Tiles-*",
+               "p:JSONB", "p:Sinew", "p:Tiles", "p:Tiles-*"], rows)
+    out.emit()
+
+    # array queries: Tiles-* beats every other format clearly
+    for query in (3, 4):
+        star = measured[query][4]
+        for index in range(4):
+            assert star < measured[query][index], (query, index)
+    # correctness: star and base variants agree
+    for query in (3, 4):
+        base = dbs[StorageFormat.TILES].sql(TWITTER_QUERIES[query]).rows
+        star = dbs[StorageFormat.TILES_STAR].sql(
+            TWITTER_QUERIES_STAR[query]).rows
+        assert base == star

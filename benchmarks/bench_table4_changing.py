@@ -1,0 +1,57 @@
+"""Table 4: geometric mean on Twitter vs the "changing" stream.
+
+Paper: Twitter geo-mean JSON 11.803 / JSONB 0.258 / Sinew 0.239 /
+Tiles 0.122 / Tiles-* 0.054; the changing structure slightly *improves*
+most systems (fewer matches) and JSON tiles "can easily adopt to unseen
+access keys".  Expected shape: the Tiles ordering is preserved on both
+streams and Tiles never degrades disproportionately on changing data.
+"""
+
+from repro.bench import datasets, geomean, time_query
+from repro.storage.formats import StorageFormat
+from repro.workloads.twitter import TWITTER_QUERIES, TWITTER_QUERIES_STAR
+
+PAPER = {
+    "Twitter": {"JSON": 11.803, "JSONB": 0.258, "Sinew": 0.239,
+                "Tiles": 0.122, "Tiles-*": 0.054},
+    "Changing": {"JSON": 11.683, "JSONB": 0.236, "Sinew": 0.182,
+                 "Tiles": 0.115, "Tiles-*": 0.054},
+}
+FORMATS = [StorageFormat.JSON, StorageFormat.JSONB, StorageFormat.SINEW,
+           StorageFormat.TILES, StorageFormat.TILES_STAR]
+LABELS = ["JSON", "JSONB", "Sinew", "Tiles", "Tiles-*"]
+
+
+def _geomean(db, fmt):
+    queries = (TWITTER_QUERIES_STAR if fmt == StorageFormat.TILES_STAR
+               else TWITTER_QUERIES)
+    return geomean([time_query(db, text) for text in queries.values()])
+
+
+def test_table4_changing(benchmark, report):
+    measured = {}
+    for evolving, label in ((False, "Twitter"), (True, "Changing")):
+        for fmt, name in zip(FORMATS, LABELS):
+            db = datasets.twitter_db(fmt, evolving=evolving)
+            measured[(label, name)] = _geomean(db, fmt)
+    benchmark.pedantic(
+        lambda: datasets.twitter_db(StorageFormat.TILES, evolving=True)
+        .sql(TWITTER_QUERIES[5]),
+        rounds=3, iterations=1)
+
+    out = report("table4_changing",
+                 "Table 4 - Twitter geo-mean [s], static vs changing")
+    rows = []
+    for label in ("Twitter", "Changing"):
+        rows.append([label] + [measured[(label, name)] for name in LABELS])
+        rows.append([f"paper:{label}"] + [PAPER[label][name]
+                                          for name in LABELS])
+    out.table(["data set"] + LABELS, rows)
+    out.emit()
+
+    for label in ("Twitter", "Changing"):
+        assert measured[(label, "Tiles")] < measured[(label, "JSONB")]
+        assert measured[(label, "Tiles-*")] < measured[(label, "Tiles")]
+        assert measured[(label, "JSON")] > measured[(label, "JSONB")]
+    # robustness: changing structure does not blow up Tiles
+    assert measured[("Changing", "Tiles")] < 2 * measured[("Twitter", "Tiles")]

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench regenerates one table or figure of the paper (see
+DESIGN.md's experiment index), prints it, and writes it to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import Report
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report(request):
+    """Factory for result tables named after the bench."""
+
+    def make(name: str, title: str) -> Report:
+        return Report(name, title, results_dir=RESULTS_DIR)
+
+    return make

@@ -1,0 +1,82 @@
+"""A tour of the JSONB binary format (Section 5).
+
+Shows the byte-level behaviour: small-integer headers, lossless float
+narrowing, numeric-string detection, O(log n) object lookups, forward
+iteration, and the comparison against the BSON/CBOR baselines.
+
+Run with::
+
+    python examples/binary_format_tour.py
+"""
+
+import json
+import time
+
+from repro import jsonb
+from repro.core.jsonpath import KeyPath
+from repro.jsonb import JsonbValue, bson, cbor
+
+
+def main() -> None:
+    print("=== size-optimal scalars ===")
+    for value in [0, 7, 8, 300, 1.5, 1 / 3, "hi", "19.99", None, True]:
+        encoded = jsonb.encode(value)
+        print(f"  {value!r:>22} -> {len(encoded):2d} bytes  "
+              f"({encoded.hex()[:24]}{'...' if len(encoded) > 12 else ''})")
+
+    print()
+    print("=== numeric strings keep their exact text (Section 5.2) ===")
+    price = jsonb.encode({"price": "19.990"})
+    root = JsonbValue(price)
+    print(f"  text back:  {root.get('price').as_text()!r}")
+    print(f"  as float:   {root.get('price').as_float()!r} "
+          f"(no string cast at access time)")
+
+    print()
+    print("=== object lookups are binary search over sorted keys ===")
+    big = {f"key{index:05d}": index for index in range(50_000)}
+    encoded = jsonb.encode(big)
+    bson_encoded = bson.encode(big)
+    cbor_encoded = cbor.encode(big)
+
+    def bench(fn, repeats=200):
+        started = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        return (time.perf_counter() - started) / repeats * 1e6
+
+    target = KeyPath.parse("key49999")  # worst case for linear scans
+    print(f"  JSONB (binary search): "
+          f"{bench(lambda: JsonbValue(encoded).get_path(target)):9.1f} us")
+    print(f"  BSON  (linear scan):   "
+          f"{bench(lambda: bson.lookup(bson_encoded, target), 5):9.1f} us")
+    print(f"  CBOR  (full parse):    "
+          f"{bench(lambda: cbor.lookup(cbor_encoded, target), 5):9.1f} us")
+
+    print()
+    print("=== forward iteration without address jumps ===")
+    doc = jsonb.encode({"user": {"id": 7, "tags": ["a", "b"]}, "n": 1})
+    for key, value in JsonbValue(doc).iter_items():
+        print(f"  {key}: {value.as_python()!r}")
+
+    print()
+    print("=== storage sizes vs JSON text ===")
+    sample = {"statuses": [{"id": i, "text": "hello world " * 3,
+                            "user": {"id": i % 10, "verified": False}}
+                           for i in range(500)]}
+    text_size = len(json.dumps(sample, separators=(",", ":")).encode())
+    for name, encoder in (("JSONB", jsonb.encode), ("BSON", bson.encode),
+                          ("CBOR", cbor.encode)):
+        size = len(encoder(sample))
+        print(f"  {name}: {size:8d} bytes ({size / text_size:5.2f}x of text)")
+
+    print()
+    print("=== round trip ===")
+    value = {"b": 1, "a": [1.5, "x", None, {"deep": True}], "p": "0.10"}
+    decoded = jsonb.decode(jsonb.encode(value))
+    print(f"  in : {value}")
+    print(f"  out: {decoded}  (keys sorted, values exact)")
+
+
+if __name__ == "__main__":
+    main()

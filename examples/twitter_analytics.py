@@ -1,0 +1,68 @@
+"""Twitter analytics across storage formats, including Tiles-*.
+
+Compares the same five analysis queries over raw JSON text, binary
+JSONB, Sinew's global extraction, JSON tiles, and Tiles-* (with the
+hashtag/mention arrays extracted into child relations).
+
+Run with::
+
+    python examples/twitter_analytics.py
+"""
+
+import time
+
+from repro import ExtractionConfig, StorageFormat
+from repro.workloads.twitter import (
+    TWITTER_QUERIES,
+    TWITTER_QUERIES_STAR,
+    make_database,
+)
+
+FORMATS = [StorageFormat.JSON, StorageFormat.JSONB, StorageFormat.SINEW,
+           StorageFormat.TILES, StorageFormat.TILES_STAR]
+
+
+def main() -> None:
+    config = ExtractionConfig(tile_size=256, partition_size=8)
+    print("loading a 4000-tweet stream (with deletes) into each format...")
+    dbs = {fmt: make_database(4000, fmt, config) for fmt in FORMATS}
+
+    star_db = dbs[StorageFormat.TILES_STAR]
+    base = star_db.table("tweets")
+    print(f"Tiles-* child relations: "
+          f"{ {name: child.row_count for name, child in base.children.items()} }")
+
+    print()
+    header = f"{'query':<28}" + "".join(f"{fmt.value:>10}" for fmt in FORMATS)
+    print(header)
+    print("-" * len(header))
+    names = {1: "influential users", 2: "deletions per user",
+             3: "mentions @ladygaga", 4: "hashtag #COVID",
+             5: "retweets per language"}
+    for query in sorted(TWITTER_QUERIES):
+        timings = []
+        for fmt in FORMATS:
+            text = (TWITTER_QUERIES_STAR[query]
+                    if fmt == StorageFormat.TILES_STAR
+                    else TWITTER_QUERIES[query])
+            started = time.perf_counter()
+            dbs[fmt].sql(text)
+            timings.append(time.perf_counter() - started)
+        print(f"Q{query} {names[query]:<25}"
+              + "".join(f"{seconds * 1000:>9.1f}m" for seconds in timings))
+
+    print()
+    print("=== Q4 result (hashtag #COVID), Tiles vs Tiles-* ===")
+    plain = dbs[StorageFormat.TILES].sql(TWITTER_QUERIES[4])
+    star = star_db.sql(TWITTER_QUERIES_STAR[4])
+    print(f"plain tiles (array traversal per tuple): {plain.rows}")
+    print(f"tiles-*    (child-relation join):        {star.rows}")
+    assert plain.rows == star.rows
+
+    print()
+    print("=== top languages (Tiles) ===")
+    print(dbs[StorageFormat.TILES].sql(TWITTER_QUERIES[5]).format_table(8))
+
+
+if __name__ == "__main__":
+    main()

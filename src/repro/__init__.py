@@ -1,0 +1,38 @@
+"""JSON Tiles — fast analytics on semi-structured data.
+
+A from-scratch Python reproduction of Durner, Leis and Neumann,
+"JSON Tiles: Fast Analytics on Semi-Structured Data", SIGMOD 2021.
+
+Public API
+----------
+
+* :class:`Database` — load JSON document collections as tables and run
+  SQL with PostgreSQL-style ``->`` / ``->>`` access operators.
+* :class:`StorageFormat` — raw JSON text, binary JSONB, Sinew's global
+  extraction, JSON tiles, and Tiles-* (with array child relations).
+* :class:`ExtractionConfig` — tile size, partition size, extraction
+  threshold, mining budget, date detection and reordering switches.
+* :class:`QueryOptions` — skipping / statistics / cast-rewriting
+  ablation switches.
+* :mod:`repro.jsonb` — the binary JSON format of Section 5.
+"""
+
+from repro.database import Database
+from repro.engine.plan import QueryOptions
+from repro.storage.formats import StorageFormat
+from repro.storage.loader import load_documents, load_json_lines
+from repro.storage.relation import Relation
+from repro.tiles.extractor import ExtractionConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "ExtractionConfig",
+    "QueryOptions",
+    "Relation",
+    "StorageFormat",
+    "load_documents",
+    "load_json_lines",
+    "__version__",
+]

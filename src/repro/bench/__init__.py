@@ -1,0 +1,9 @@
+"""Benchmark harness shared by the `benchmarks/` suite.
+
+* :mod:`repro.bench.harness` — timing, geometric means, report tables.
+* :mod:`repro.bench.datasets` — cached benchmark databases.
+"""
+
+from repro.bench.harness import Report, geomean, speedup, time_call, time_query
+
+__all__ = ["Report", "geomean", "speedup", "time_call", "time_query"]

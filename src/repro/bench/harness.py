@@ -1,0 +1,117 @@
+"""Benchmark harness: timing, geometric means, report tables.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (Section 6): it prints the measured values next to the
+paper's reference numbers and appends the table to
+``benchmarks/results/``.  Absolute numbers are not comparable (the
+substrate here is a Python engine, not Umbra on a 32-core box); the
+*shape* — who wins, by roughly what factor — is what each bench checks.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import statistics
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+DEFAULT_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+
+#: benchmark scale knob: 1.0 = the default small scale used in CI;
+#: raise via REPRO_BENCH_SCALE for closer-to-paper data volumes.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(value: float) -> float:
+    return value * SCALE
+
+
+def time_call(fn: Callable[[], object],
+              repeats: int = DEFAULT_REPEATS) -> float:
+    """Median wall-clock seconds of *fn* over *repeats* runs."""
+    samples = []
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def time_query(db, query: str, options=None,
+               repeats: int = DEFAULT_REPEATS) -> float:
+    return time_call(lambda: db.sql(query, options), repeats)
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [max(v, 1e-9) for v in values]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class Report:
+    """A results table streamed to stdout and a results file."""
+
+    def __init__(self, name: str, title: str,
+                 results_dir: Optional[Path] = None):
+        self.name = name
+        self.title = title
+        self.lines: List[str] = []
+        self.results_dir = results_dir
+
+    def section(self, text: str) -> None:
+        self.lines.append("")
+        self.lines.append(f"-- {text}")
+
+    def note(self, text: str) -> None:
+        self.lines.append(f"   {text}")
+
+    def table(self, headers: Sequence[str],
+              rows: Sequence[Sequence[object]]) -> None:
+        cells = [[_fmt(value) for value in row] for row in rows]
+        widths = [
+            max(len(str(header)), *(len(row[i]) for row in cells))
+            if cells else len(str(header))
+            for i, header in enumerate(headers)
+        ]
+        self.lines.append("  ".join(
+            str(header).ljust(widths[i]) for i, header in enumerate(headers)
+        ).rstrip())
+        self.lines.append("  ".join("-" * width for width in widths))
+        for row in cells:
+            self.lines.append("  ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(row)
+            ).rstrip())
+
+    def render(self) -> str:
+        bar = "=" * max(len(self.title), 20)
+        return "\n".join([bar, self.title, bar] + self.lines + [""])
+
+    def emit(self) -> str:
+        text = self.render()
+        print("\n" + text)
+        if self.results_dir is not None:
+            self.results_dir.mkdir(parents=True, exist_ok=True)
+            (self.results_dir / f"{self.name}.txt").write_text(text)
+        return text
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def speedup(baseline: float, candidate: float) -> float:
+    """How many times faster *candidate* is than *baseline*."""
+    return baseline / max(candidate, 1e-9)

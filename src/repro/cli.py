@@ -1,0 +1,175 @@
+"""Command-line interface: load ndjson files, run SQL, inspect tiles.
+
+Examples::
+
+    # one-shot query over an ndjson file
+    python -m repro --load tweets=stream.ndjson \
+        --sql "select t.data->>'lang' as l, count(*) as n from tweets t \
+               group by t.data->>'lang' order by n desc limit 5"
+
+    # interactive shell
+    python -m repro --load logs=events.ndjson --format tiles
+
+    # describe the extracted tiles instead of querying
+    python -m repro --load logs=events.ndjson --describe logs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro import Database, ExtractionConfig, QueryOptions, StorageFormat
+from repro.errors import ReproError
+
+_FORMATS = {fmt.value: fmt for fmt in StorageFormat}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JSON Tiles: fast analytics on semi-structured data "
+                    "(SIGMOD 2021 reproduction)",
+    )
+    parser.add_argument(
+        "--load", action="append", default=[], metavar="NAME=FILE",
+        help="load an ndjson file as a table (repeatable)")
+    parser.add_argument(
+        "--open", metavar="DIR", dest="open_dir",
+        help="open a database directory written with --save")
+    parser.add_argument(
+        "--save", metavar="DIR", dest="save_dir",
+        help="persist all loaded tables to a directory and exit "
+             "(after any --sql queries)")
+    parser.add_argument(
+        "--format", default="tiles", choices=sorted(_FORMATS),
+        help="storage format for loaded tables (default: tiles)")
+    parser.add_argument("--tile-size", type=int, default=1024)
+    parser.add_argument("--partition-size", type=int, default=8)
+    parser.add_argument("--threshold", type=float, default=0.6,
+                        help="extraction threshold (default 0.6)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel loading workers")
+    parser.add_argument("--sql", action="append", default=[],
+                        metavar="QUERY", help="run a query and exit "
+                        "(repeatable; omit for an interactive shell)")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the plan for each --sql query")
+    parser.add_argument("--describe", metavar="TABLE",
+                        help="print the tile headers of a table and exit")
+    parser.add_argument("--no-skipping", action="store_true",
+                        help="disable tile skipping (Section 4.8)")
+    parser.add_argument("--no-statistics", action="store_true",
+                        help="disable statistics-driven join ordering")
+    return parser
+
+
+def _load_tables(db: Database, specs: List[str], storage_format,
+                 config, workers: int, out) -> None:
+    for spec in specs:
+        name, _, path = spec.partition("=")
+        if not path:
+            raise SystemExit(f"--load expects NAME=FILE, got {spec!r}")
+        started = time.perf_counter()
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        relation = db.load_table(name, lines, storage_format, config,
+                                 num_workers=workers)
+        seconds = time.perf_counter() - started
+        print(f"loaded {relation.row_count} documents into {name!r} "
+              f"({len(relation.tiles)} tiles, {seconds:.2f}s)", file=out)
+
+
+def _run_query(db: Database, query: str, options: QueryOptions,
+               explain: bool, out) -> None:
+    if explain:
+        print(db.explain(query, options), file=out)
+    started = time.perf_counter()
+    result = db.sql(query, options)
+    seconds = time.perf_counter() - started
+    print(result.format_table(50), file=out)
+    print(f"({len(result)} rows, {seconds:.3f}s, "
+          f"{result.counters.tiles_skipped}/{result.counters.tiles_total} "
+          f"tiles skipped)", file=out)
+
+
+def _shell(db: Database, options: QueryOptions, out) -> None:
+    print("repro shell — end queries with ';', \\q to quit", file=out)
+    buffer: List[str] = []
+    while True:
+        try:
+            prompt = "repro> " if not buffer else "   ...> "
+            line = input(prompt)
+        except EOFError:
+            break
+        if line.strip() in ("\\q", "exit", "quit"):
+            break
+        buffer.append(line)
+        if line.rstrip().endswith(";"):
+            query = "\n".join(buffer)
+            buffer = []
+            try:
+                _run_query(db, query, options, False, out)
+            except ReproError as exc:
+                print(f"error: {exc}", file=out)
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    storage_format = _FORMATS[args.format]
+    config = ExtractionConfig(tile_size=args.tile_size,
+                              partition_size=args.partition_size,
+                              threshold=args.threshold)
+    options = QueryOptions(enable_skipping=not args.no_skipping,
+                           use_statistics=not args.no_statistics)
+    db = Database(storage_format, config)
+    if args.open_dir:
+        from repro.storage.persist import open_database
+
+        db = open_database(args.open_dir)
+        for name, relation in db.tables.items():
+            print(f"opened {name!r}: {relation.row_count} documents",
+                  file=out)
+    try:
+        _load_tables(db, args.load, storage_format, config, args.workers,
+                     out)
+    except OSError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+
+    if args.describe:
+        try:
+            relation = db.table(args.describe)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+            return 1
+        for tile in relation.tiles:
+            print(tile.header.describe(), file=out)
+        return 0
+
+    if args.sql:
+        for query in args.sql:
+            try:
+                _run_query(db, query, options, args.explain, out)
+            except ReproError as exc:
+                print(f"error: {exc}", file=out)
+                return 1
+    if args.save_dir:
+        from repro.storage.persist import save_database
+
+        written = save_database(db, args.save_dir)
+        for name, size in written.items():
+            print(f"saved {name!r} ({size} bytes)", file=out)
+        return 0
+    if args.sql:
+        return 0
+
+    _shell(db, options, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

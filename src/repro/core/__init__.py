@@ -1,0 +1,18 @@
+"""Core value model shared by every subsystem.
+
+This package defines the primitive JSON value types (:mod:`~repro.core.types`),
+typed key paths used by the extraction algorithms
+(:mod:`~repro.core.jsonpath`), and date/time string detection
+(:mod:`~repro.core.datetimes`).
+"""
+
+from repro.core.jsonpath import KeyPath, collect_key_paths
+from repro.core.types import ColumnType, JsonType, json_type_of
+
+__all__ = [
+    "ColumnType",
+    "JsonType",
+    "KeyPath",
+    "collect_key_paths",
+    "json_type_of",
+]

@@ -1,0 +1,131 @@
+"""Detection and conversion of date/time strings (Section 4.9).
+
+JSON has no date type, so real data stores dates as strings.  When a
+tile column of strings looks like dates or timestamps, JSON tiles
+extracts it as a SQL ``TIMESTAMP`` so that date-typed accesses avoid
+per-tuple string parsing.  Access *as text* keeps returning the original
+string from the JSONB fallback, because the internal representation
+does not guarantee exact recreation of arbitrary input formats.
+
+Timestamps are represented as integer microseconds since the Unix epoch
+(UTC), which maps directly onto an int64 numpy column.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Optional
+
+EPOCH = _dt.datetime(1970, 1, 1)
+
+MICROS_PER_SECOND = 1_000_000
+MICROS_PER_DAY = 86_400 * MICROS_PER_SECOND
+
+# The formats we detect, tried in order.  Each entry: (regex, parser).
+_ISO_DATE_RE = re.compile(r"(\d{4})-(\d{2})-(\d{2})\Z")
+_ISO_DATETIME_RE = re.compile(
+    r"(\d{4})-(\d{2})-(\d{2})[T ](\d{2}):(\d{2}):(\d{2})(?:\.(\d{1,6}))?Z?\Z"
+)
+_US_DATE_RE = re.compile(r"(\d{1,2})/(\d{1,2})/(\d{4})\Z")
+# Twitter's created_at format: "Mon Jun 01 17:33:11 +0000 2020"
+_TWITTER_RE = re.compile(
+    r"(Mon|Tue|Wed|Thu|Fri|Sat|Sun) "
+    r"(Jan|Feb|Mar|Apr|May|Jun|Jul|Aug|Sep|Oct|Nov|Dec) "
+    r"(\d{2}) (\d{2}):(\d{2}):(\d{2}) \+0000 (\d{4})\Z"
+)
+_MONTHS = {
+    name: number
+    for number, name in enumerate(
+        ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"],
+        start=1,
+    )
+}
+
+
+def _micros(year: int, month: int, day: int, hour: int = 0, minute: int = 0,
+            second: int = 0, micro: int = 0) -> Optional[int]:
+    try:
+        moment = _dt.datetime(year, month, day, hour, minute, second, micro)
+    except ValueError:
+        return None
+    return int((moment - EPOCH) // _dt.timedelta(microseconds=1))
+
+
+def parse_datetime_string(text: str) -> Optional[int]:
+    """Parse *text* as one of the supported date/time formats.
+
+    Returns epoch microseconds, or ``None`` when the string is not a
+    recognized date/time.
+    """
+    if not 8 <= len(text) <= 40:
+        return None
+    match = _ISO_DATE_RE.match(text)
+    if match:
+        year, month, day = (int(g) for g in match.groups())
+        return _micros(year, month, day)
+    match = _ISO_DATETIME_RE.match(text)
+    if match:
+        year, month, day, hour, minute, second = (int(g) for g in match.groups()[:6])
+        fraction = match.group(7)
+        micro = int(fraction.ljust(6, "0")) if fraction else 0
+        return _micros(year, month, day, hour, minute, second, micro)
+    match = _US_DATE_RE.match(text)
+    if match:
+        month, day, year = (int(g) for g in match.groups())
+        return _micros(year, month, day)
+    match = _TWITTER_RE.match(text)
+    if match:
+        month = _MONTHS[match.group(2)]
+        day, hour, minute, second = (int(match.group(i)) for i in (3, 4, 5, 6))
+        year = int(match.group(7))
+        return _micros(year, month, day, hour, minute, second)
+    return None
+
+
+def looks_like_datetime(text: str) -> bool:
+    """Cheap check used when sampling a candidate column (Section 4.9)."""
+    return parse_datetime_string(text) is not None
+
+
+def micros_to_datetime(micros: int) -> _dt.datetime:
+    """Convert epoch microseconds back to a ``datetime``."""
+    return EPOCH + _dt.timedelta(microseconds=int(micros))
+
+
+def date_string(micros: int) -> str:
+    """ISO date string (``YYYY-MM-DD``) for epoch microseconds."""
+    return micros_to_datetime(micros).strftime("%Y-%m-%d")
+
+
+def timestamp_string(micros: int) -> str:
+    """ISO timestamp string for epoch microseconds."""
+    return micros_to_datetime(micros).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def date_literal(text: str) -> int:
+    """Parse a SQL date/timestamp literal; raise ``ValueError`` if invalid."""
+    micros = parse_datetime_string(text)
+    if micros is None:
+        raise ValueError(f"invalid date/timestamp literal: {text!r}")
+    return micros
+
+
+def add_interval(micros: int, years: int = 0, months: int = 0, days: int = 0) -> int:
+    """SQL ``date + interval`` arithmetic on epoch microseconds."""
+    moment = micros_to_datetime(micros)
+    month_index = moment.month - 1 + months + 12 * years
+    year = moment.year + month_index // 12
+    month = month_index % 12 + 1
+    day = min(moment.day, _days_in_month(year, month))
+    moved = moment.replace(year=year, month=month, day=day)
+    moved += _dt.timedelta(days=days)
+    return int((moved - EPOCH) // _dt.timedelta(microseconds=1))
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        nxt = _dt.date(year + 1, 1, 1)
+    else:
+        nxt = _dt.date(year, month + 1, 1)
+    return (nxt - _dt.date(year, month, 1)).days

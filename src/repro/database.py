@@ -1,0 +1,110 @@
+"""The public entry point: a tiny embedded analytical database.
+
+    from repro import Database, StorageFormat
+
+    db = Database()
+    db.load_table("tweets", documents, StorageFormat.TILES)
+    result = db.sql(
+        "select t.data->>'lang' as lang, count(*) as n "
+        "from tweets t group by t.data->>'lang' order by n desc limit 5"
+    )
+    print(result.format_table())
+
+Every table is one JSON document column (named ``data``) queried with
+PostgreSQL-style ``->`` / ``->>`` operators; the storage format decides
+whether queries run over raw text, binary JSON, Sinew's global
+extraction, or JSON tiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.engine.executor import QueryResult, execute_block
+from repro.engine.plan import QueryOptions
+from repro.errors import SqlBindError
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.storage.formats import StorageFormat
+from repro.storage.loader import load_documents
+from repro.storage.relation import Relation
+from repro.tiles.extractor import ExtractionConfig
+
+
+class Database:
+    """A named collection of relations plus the SQL front end."""
+
+    def __init__(self, default_format: StorageFormat = StorageFormat.TILES,
+                 config: Optional[ExtractionConfig] = None):
+        self.default_format = default_format
+        self.config = config or ExtractionConfig()
+        self.tables: Dict[str, Relation] = {}
+
+    # ------------------------------------------------------------------
+
+    def load_table(self, name: str, rows: Sequence,
+                   storage_format: Optional[StorageFormat] = None,
+                   config: Optional[ExtractionConfig] = None,
+                   **kwargs) -> Relation:
+        """Bulk-load documents (dicts or JSON text lines) as a table."""
+        relation = load_documents(
+            name, rows,
+            storage_format or self.default_format,
+            config or self.config,
+            **kwargs,
+        )
+        self.register(name, relation)
+        return relation
+
+    def register(self, name: str, relation: Relation) -> None:
+        self.tables[name] = relation
+        # Tiles-* child relations become queryable side tables
+        for path_text, child in relation.children.items():
+            safe = path_text.replace(".", "_").replace("[", "_").replace("]", "")
+            self.tables[f"{name}__{safe}"] = child
+
+    def table(self, name: str) -> Relation:
+        if name not in self.tables:
+            raise SqlBindError(f"unknown table {name!r}")
+        return self.tables[name]
+
+    def drop_table(self, name: str) -> None:
+        relation = self.tables.pop(name, None)
+        if relation is not None:
+            for path_text in relation.children:
+                safe = path_text.replace(".", "_").replace("[", "_") \
+                    .replace("]", "")
+                self.tables.pop(f"{name}__{safe}", None)
+
+    # ------------------------------------------------------------------
+
+    def sql(self, query: str,
+            options: Optional[QueryOptions] = None) -> QueryResult:
+        """Parse, bind, optimize and execute one SELECT statement."""
+        options = options or QueryOptions()
+        statement = parse(query)
+        block = Binder(self.tables, options).bind(statement)
+        return execute_block(block, options)
+
+    def explain(self, query: str,
+                options: Optional[QueryOptions] = None) -> str:
+        """The chosen join order, the operator tree and the per-table
+        access requests (push-down visibility)."""
+        options = options or QueryOptions()
+        statement = parse(query)
+        block = Binder(self.tables, options).bind(statement)
+        from repro.engine.explain import render_plan
+        from repro.engine.optimizer import Planner
+
+        planner = Planner(options)
+        tree = planner.plan_block(block)
+        lines = [f"join order: {' -> '.join(planner.last_join_order) or '-'}"]
+        lines.append(render_plan(tree))
+        for source in block.sources:
+            requests = getattr(source, "requests", None)
+            if requests:
+                lines.append(f"scan {source.alias}:")
+                for request in requests.values():
+                    lines.append(f"  {request.path} :: "
+                                 f"{request.target.name}")
+        return "\n".join(lines)

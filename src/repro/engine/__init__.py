@@ -1,0 +1,27 @@
+"""Vectorized query engine: expressions, operators, push-down scans,
+statistics-driven optimization and execution.
+
+The engine mirrors the paper's integration story (Section 4): access
+expressions live in the scan, casts are rewritten to typed accesses,
+tiles without matches are skipped, and the optimizer consumes tile
+statistics for join ordering.
+"""
+
+from repro.engine.batch import Batch, concat_batches
+from repro.engine.executor import QueryResult, execute_block
+from repro.engine.optimizer import Planner
+from repro.engine.plan import QueryBlock, QueryOptions
+from repro.engine.scan import AccessRequest, ScanCounters, TableScan
+
+__all__ = [
+    "AccessRequest",
+    "Batch",
+    "Planner",
+    "QueryBlock",
+    "QueryOptions",
+    "QueryResult",
+    "ScanCounters",
+    "TableScan",
+    "concat_batches",
+    "execute_block",
+]

@@ -1,0 +1,71 @@
+"""Plan rendering: a readable operator tree for EXPLAIN output."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine import operators as op
+from repro.engine.scan import TableScan
+
+
+def render_plan(root, indent: str = "") -> str:
+    """Render a physical operator tree as indented text."""
+    lines: List[str] = []
+    _render(root, lines, 0)
+    return "\n".join(lines)
+
+
+def _describe(node) -> str:
+    if isinstance(node, TableScan):
+        skips = ""
+        if node.skip_paths:
+            skips = f", skip on {[str(p) for p in node.skip_paths]}"
+        prunes = ""
+        if node.range_prunes:
+            prunes = f", zone maps on " \
+                     f"{sorted({str(p.path) for p in node.range_prunes})}"
+        predicate = ", filtered" if node.predicate is not None else ""
+        return (f"TableScan {node.relation.name} "
+                f"[{node.relation.format.value}] "
+                f"({len(node.requests)} accesses{predicate}{skips}{prunes})")
+    if isinstance(node, op.HashJoinOp):
+        return (f"HashJoin [{node.kind.value}] on "
+                f"{len(node.left_keys)} key(s)"
+                + (", residual" if node.residual is not None else ""))
+    if isinstance(node, op.HashAggregateOp):
+        keys = [name for name, _ in node.keys]
+        aggs = [f"{spec.func}->{spec.name}" for spec in node.aggregates]
+        return f"HashAggregate keys={keys} aggs={aggs}"
+    if isinstance(node, op.FilterOp):
+        return "Filter"
+    if isinstance(node, op.ProjectOp):
+        return f"Project {[name for name, _ in node.outputs]}"
+    if isinstance(node, op.SortOp):
+        keys = [f"{k.name}{' desc' if k.descending else ''}" for k in node.keys]
+        return f"Sort by {keys}"
+    if isinstance(node, op.TopKOp):
+        keys = [f"{k.name}{' desc' if k.descending else ''}" for k in node.keys]
+        return f"TopK limit={node.limit} by {keys}"
+    if isinstance(node, op.LimitOp):
+        return f"Limit {node.limit}"
+    if isinstance(node, op.ChainOp):
+        return f"UnionAll ({len(node.children)} branches)"
+    if isinstance(node, op.BatchSource):
+        return "BatchSource"
+    return type(node).__name__
+
+
+def _children(node):
+    if isinstance(node, op.HashJoinOp):
+        return [node.left, node.right]
+    if isinstance(node, op.ChainOp):
+        return list(node.children)
+    child = getattr(node, "child", None)
+    return [child] if child is not None else []
+
+
+def _render(node, lines: List[str], depth: int) -> None:
+    prefix = "  " * depth + ("-> " if depth else "")
+    lines.append(prefix + _describe(node))
+    for child in _children(node):
+        _render(child, lines, depth + 1)

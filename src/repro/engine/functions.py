@@ -1,0 +1,147 @@
+"""Scalar SQL functions beyond the operator grammar.
+
+Notable members are the JSON helpers that queries use against
+non-extracted structures (e.g. scanning a high-cardinality array with
+plain Tiles, the slow path that Tiles-* replaces with a child-relation
+join):
+
+* ``json_contains(x -> 'arr', 'key', value)`` — true when any element
+  of the array has ``element[key] == value`` (scalar elements compare
+  directly when ``key`` is ``''``);
+* ``json_length(x -> 'arr')`` — element count;
+* ``lower`` / ``upper`` / ``coalesce``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+import numpy as np
+
+from repro.core.types import ColumnType
+from repro.engine.batch import Batch
+from repro.engine.expressions import Expression, Literal
+from repro.errors import SqlBindError
+from repro.storage.column import ColumnVector
+
+
+class JsonContains(Expression):
+    def __init__(self, array_expr: Expression, key: str, value: object):
+        self.array_expr = array_expr
+        self.key = key
+        self.value = value
+        self.result_type = ColumnType.BOOL
+
+    def children(self) -> Sequence[Expression]:
+        return (self.array_expr,)
+
+    def evaluate(self, batch: Batch) -> ColumnVector:
+        array_column = self.array_expr.evaluate(batch)
+        data = np.zeros(batch.length, dtype=bool)
+        for row in range(batch.length):
+            if array_column.null_mask[row]:
+                continue
+            array = array_column.data[row]
+            if not isinstance(array, list):
+                continue
+            for element in array:
+                if self.key:
+                    if isinstance(element, dict) and \
+                            element.get(self.key) == self.value:
+                        data[row] = True
+                        break
+                elif element == self.value:
+                    data[row] = True
+                    break
+        return ColumnVector(ColumnType.BOOL, data,
+                            array_column.null_mask.copy())
+
+
+class JsonLength(Expression):
+    def __init__(self, array_expr: Expression):
+        self.array_expr = array_expr
+        self.result_type = ColumnType.INT64
+
+    def children(self) -> Sequence[Expression]:
+        return (self.array_expr,)
+
+    def evaluate(self, batch: Batch) -> ColumnVector:
+        array_column = self.array_expr.evaluate(batch)
+        data = np.zeros(batch.length, dtype=np.int64)
+        nulls = array_column.null_mask.copy()
+        for row in range(batch.length):
+            if nulls[row]:
+                continue
+            value = array_column.data[row]
+            if isinstance(value, (list, dict)):
+                data[row] = len(value)
+            else:
+                nulls[row] = True
+        return ColumnVector(ColumnType.INT64, data, nulls)
+
+
+class StringTransform(Expression):
+    def __init__(self, operand: Expression, transform: str):
+        self.operand = operand
+        self.transform = transform
+        self.result_type = ColumnType.STRING
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+    def evaluate(self, batch: Batch) -> ColumnVector:
+        value = self.operand.evaluate(batch)
+        convert = str.lower if self.transform == "lower" else str.upper
+        data = np.array(
+            [convert(item) if isinstance(item, str) else item
+             for item in value.data],
+            dtype=object,
+        )
+        return ColumnVector(ColumnType.STRING, data, value.null_mask.copy())
+
+
+class Coalesce(Expression):
+    def __init__(self, operands: List[Expression]):
+        self.operands = operands
+        self.result_type = operands[0].result_type
+
+    def children(self) -> Sequence[Expression]:
+        return tuple(self.operands)
+
+    def null_rejected_refs(self) -> Set[str]:
+        return set()
+
+    def evaluate(self, batch: Batch) -> ColumnVector:
+        result = self.operands[0].evaluate(batch)
+        data = result.data.copy()
+        nulls = result.null_mask.copy()
+        for operand in self.operands[1:]:
+            if not nulls.any():
+                break
+            other = operand.evaluate(batch)
+            fill = nulls & ~other.null_mask
+            data[fill] = other.data[fill]
+            nulls &= ~fill
+        return ColumnVector(result.type, data, nulls)
+
+
+def bind_scalar_function(name: str, args: List[Expression]) -> Expression:
+    if name == "json_contains":
+        if len(args) != 3 or not isinstance(args[1], Literal) \
+                or not isinstance(args[2], Literal):
+            raise SqlBindError(
+                "json_contains(array, 'key', literal) expects literals")
+        return JsonContains(args[0], args[1].value, args[2].value)
+    if name == "json_length":
+        if len(args) != 1:
+            raise SqlBindError("json_length(array) expects one argument")
+        return JsonLength(args[0])
+    if name in ("lower", "upper"):
+        if len(args) != 1:
+            raise SqlBindError(f"{name}(text) expects one argument")
+        return StringTransform(args[0], name)
+    if name == "coalesce":
+        if not args:
+            raise SqlBindError("coalesce needs at least one argument")
+        return Coalesce(args)
+    raise SqlBindError(f"unknown function {name!r}")

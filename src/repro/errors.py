@@ -1,0 +1,46 @@
+"""Exception hierarchy for the JSON Tiles reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class JsonbError(ReproError):
+    """Malformed JSONB bytes or an unencodable input value."""
+
+
+class JsonbEncodeError(JsonbError):
+    """The input value cannot be represented in the JSONB format."""
+
+
+class JsonbDecodeError(JsonbError):
+    """The byte sequence is not a valid JSONB document."""
+
+
+class MiningError(ReproError):
+    """Invalid parameters for frequent itemset mining."""
+
+
+class StorageError(ReproError):
+    """Invalid storage operation (bad format, unknown column, ...)."""
+
+
+class SqlError(ReproError):
+    """SQL front-end failure."""
+
+
+class SqlSyntaxError(SqlError):
+    """The query text does not parse."""
+
+
+class SqlBindError(SqlError):
+    """The query parses but references unknown tables/columns or
+    combines types illegally."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a query plan."""

@@ -1,0 +1,243 @@
+"""Access expressions over JSONB bytes (Sections 5.4 and 4.3).
+
+:class:`JsonbValue` is a zero-copy *view* into a JSONB buffer.  Object
+key lookup binary-searches the sorted offset table (O(log n)); array
+indexing reads one offset (O(1)).  The typed getters implement the cast
+rewriting of Section 4.3: ``x->>'k'::BigInt`` reads the integer payload
+directly instead of materializing text and parsing it back.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.core.datetimes import parse_datetime_string
+from repro.core.jsonpath import KeyPath
+from repro.core.types import JsonType
+from repro.jsonb import format as fmt
+from repro.jsonb.decoder import decode_value, skip_value
+
+_JSON_TYPE_BY_ID = {
+    fmt.TYPE_INT: JsonType.INT,
+    fmt.TYPE_FLOAT: JsonType.FLOAT,
+    fmt.TYPE_STRING: JsonType.STRING,
+    fmt.TYPE_NUMSTR: JsonType.NUMSTR,
+    fmt.TYPE_OBJECT: JsonType.OBJECT,
+    fmt.TYPE_ARRAY: JsonType.ARRAY,
+}
+
+
+class JsonbValue:
+    """A view of one value inside a JSONB buffer."""
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes, pos: int = 0):
+        self.buf = buf
+        self.pos = pos
+
+    # ------------------------------------------------------------------
+    # type inspection
+
+    def type_id(self) -> int:
+        return self.buf[self.pos] >> 5
+
+    def json_type(self) -> JsonType:
+        type_id, info = fmt.split_header(self.buf[self.pos])
+        if type_id == fmt.TYPE_LITERAL:
+            return JsonType.NULL if info == fmt.LITERAL_NULL else JsonType.BOOL
+        return _JSON_TYPE_BY_ID[type_id]
+
+    def is_null(self) -> bool:
+        return self.buf[self.pos] == fmt.make_header(fmt.TYPE_LITERAL, fmt.LITERAL_NULL)
+
+    # ------------------------------------------------------------------
+    # navigation (the `->` operator)
+
+    def get(self, step: Union[str, int]) -> Optional["JsonbValue"]:
+        """Follow one object key or array slot; ``None`` when absent
+        or when the value is not a container of the right kind."""
+        if isinstance(step, str):
+            return self._object_get(step)
+        return self._array_at(step)
+
+    def get_path(self, path: KeyPath) -> Optional["JsonbValue"]:
+        """Follow a whole key path; ``None`` when any step is absent."""
+        current: Optional[JsonbValue] = self
+        for step in path.steps:
+            current = current.get(step)
+            if current is None:
+                return None
+        return current
+
+    def _object_get(self, key: str) -> Optional["JsonbValue"]:
+        buf, pos = self.buf, self.pos
+        type_id, info = fmt.split_header(buf[pos])
+        if type_id != fmt.TYPE_OBJECT:
+            return None
+        width = fmt.OFFSET_WIDTHS[info & 0x3]
+        count, pos = fmt.read_compact_uint(buf, pos + 1)
+        table = pos
+        slot_area = pos + count * width
+        target = key.encode("utf-8")
+        lo, hi = 0, count - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            slot = slot_area + fmt.read_offset(buf, table + mid * width, width)
+            key_len, key_pos = fmt.read_compact_uint(buf, slot)
+            candidate = buf[key_pos : key_pos + key_len]
+            if candidate == target:
+                return JsonbValue(buf, key_pos + key_len)
+            if candidate < target:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return None
+
+    def _array_at(self, index: int) -> Optional["JsonbValue"]:
+        buf, pos = self.buf, self.pos
+        type_id, info = fmt.split_header(buf[pos])
+        if type_id != fmt.TYPE_ARRAY:
+            return None
+        width = fmt.OFFSET_WIDTHS[info & 0x3]
+        count, pos = fmt.read_compact_uint(buf, pos + 1)
+        if index < 0:
+            index += count
+        if not 0 <= index < count:
+            return None
+        slot_area = pos + count * width
+        offset = fmt.read_offset(buf, pos + index * width, width)
+        return JsonbValue(buf, slot_area + offset)
+
+    def __len__(self) -> int:
+        """Element count of an object or array (0 for scalars)."""
+        type_id, _ = fmt.split_header(self.buf[self.pos])
+        if type_id not in (fmt.TYPE_OBJECT, fmt.TYPE_ARRAY):
+            return 0
+        count, _ = fmt.read_compact_uint(self.buf, self.pos + 1)
+        return count
+
+    def iter_items(self) -> Iterator[Tuple[Optional[str], "JsonbValue"]]:
+        """Forward-iterate the slots of an object (key, value) or array
+        (None, value) without touching the offset table — the layout is
+        contiguous (Section 5.1)."""
+        buf, pos = self.buf, self.pos
+        type_id, info = fmt.split_header(buf[pos])
+        if type_id not in (fmt.TYPE_OBJECT, fmt.TYPE_ARRAY):
+            return
+        width = fmt.OFFSET_WIDTHS[info & 0x3]
+        count, pos = fmt.read_compact_uint(buf, pos + 1)
+        pos += count * width
+        for _ in range(count):
+            key = None
+            if type_id == fmt.TYPE_OBJECT:
+                key_len, pos = fmt.read_compact_uint(buf, pos)
+                key = buf[pos : pos + key_len].decode("utf-8")
+                pos += key_len
+            yield key, JsonbValue(buf, pos)
+            pos = skip_value(buf, pos)
+
+    # ------------------------------------------------------------------
+    # extraction
+
+    def as_python(self) -> object:
+        """Materialize this value as a Python object."""
+        value, _ = decode_value(self.buf, self.pos)
+        return value
+
+    def slice_bytes(self) -> bytes:
+        """The standalone JSONB bytes of this sub-value."""
+        end = skip_value(self.buf, self.pos)
+        return self.buf[self.pos : end]
+
+    def as_text(self) -> Optional[str]:
+        """PostgreSQL ``->>`` semantics: scalars become their text,
+        containers their JSON text, JSON null becomes SQL NULL."""
+        type_id, info = fmt.split_header(self.buf[self.pos])
+        if type_id == fmt.TYPE_LITERAL:
+            if info == fmt.LITERAL_NULL:
+                return None
+            return "true" if info == fmt.LITERAL_TRUE else "false"
+        if type_id in (fmt.TYPE_STRING, fmt.TYPE_NUMSTR):
+            return self.as_python()
+        if type_id == fmt.TYPE_INT:
+            return str(self.as_python())
+        if type_id == fmt.TYPE_FLOAT:
+            value = self.as_python()
+            return repr(int(value)) if value == int(value) else repr(value)
+        return json.dumps(self.as_python(), separators=(",", ":"))
+
+    # ------------------------------------------------------------------
+    # typed getters (cast rewriting, Section 4.3)
+
+    def as_int(self) -> Optional[int]:
+        """``->>'k'::BigInt`` without going through text."""
+        type_id, info = fmt.split_header(self.buf[self.pos])
+        if type_id == fmt.TYPE_INT:
+            if info <= fmt.MAX_INLINE_INT:
+                return info
+            return fmt.read_int_payload(self.buf, self.pos + 1, info - 7)
+        if type_id == fmt.TYPE_FLOAT:
+            return int(self.as_python())
+        if type_id == fmt.TYPE_NUMSTR:
+            text = self.as_python()
+            try:
+                return int(text)
+            except ValueError:
+                return int(float(text))
+        if type_id == fmt.TYPE_STRING:
+            try:
+                return int(self.as_python())
+            except ValueError:
+                return None
+        if type_id == fmt.TYPE_LITERAL and info != fmt.LITERAL_NULL:
+            return int(info == fmt.LITERAL_TRUE)
+        return None
+
+    def as_float(self) -> Optional[float]:
+        """``->>'k'::Float`` without going through text."""
+        type_id, info = fmt.split_header(self.buf[self.pos])
+        if type_id == fmt.TYPE_FLOAT or type_id == fmt.TYPE_INT:
+            return float(self.as_python())
+        if type_id in (fmt.TYPE_NUMSTR, fmt.TYPE_STRING):
+            try:
+                return float(self.as_python())
+            except ValueError:
+                return None
+        if type_id == fmt.TYPE_LITERAL and info != fmt.LITERAL_NULL:
+            return float(info == fmt.LITERAL_TRUE)
+        return None
+
+    def as_bool(self) -> Optional[bool]:
+        type_id, info = fmt.split_header(self.buf[self.pos])
+        if type_id == fmt.TYPE_LITERAL:
+            if info == fmt.LITERAL_NULL:
+                return None
+            return info == fmt.LITERAL_TRUE
+        if type_id == fmt.TYPE_INT:
+            return self.as_int() != 0
+        text = self.as_text()
+        if text in ("true", "t", "1"):
+            return True
+        if text in ("false", "f", "0"):
+            return False
+        return None
+
+    def as_timestamp(self) -> Optional[int]:
+        """``::Date`` / ``::Timestamp`` access: parse supported string
+        formats into epoch microseconds (Section 4.9)."""
+        type_id, _ = fmt.split_header(self.buf[self.pos])
+        if type_id == fmt.TYPE_STRING:
+            return parse_datetime_string(self.as_python())
+        if type_id == fmt.TYPE_INT:
+            return self.as_int()
+        return None
+
+    def __repr__(self) -> str:
+        return f"JsonbValue({self.as_python()!r})"
+
+
+def jsonb_get_path(buf: bytes, path: KeyPath) -> Optional[JsonbValue]:
+    """Convenience root-level path lookup."""
+    return JsonbValue(buf, 0).get_path(path)

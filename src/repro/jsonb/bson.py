@@ -1,0 +1,187 @@
+"""BSON-style baseline binary format (Section 6.9 competitor).
+
+A from-scratch implementation of the essential BSON wire layout used by
+MongoDB: a document is ``int32 total_size | element* | 0x00`` and every
+element is ``type byte | cstring key | payload``.  There is no offset
+table and keys are unsorted, so a key lookup is a *linear* scan over
+the elements — the behaviour the paper's Figure 20 contrasts against
+JSONB's binary search.
+
+Supported element types (enough for RFC 8259 values):
+
+====  ======================================
+0x01  double (8 bytes)
+0x02  UTF-8 string (int32 length incl. NUL)
+0x03  embedded document
+0x04  array (document with keys "0", "1", …)
+0x08  boolean (1 byte)
+0x0A  null
+0x12  int64
+====  ======================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple, Union
+
+from repro.core.jsonpath import KeyPath
+from repro.errors import JsonbDecodeError, JsonbEncodeError
+
+_T_DOUBLE = 0x01
+_T_STRING = 0x02
+_T_DOCUMENT = 0x03
+_T_ARRAY = 0x04
+_T_BOOL = 0x08
+_T_NULL = 0x0A
+_T_INT64 = 0x12
+
+
+def _encode_element(out: bytearray, key: str, value: object) -> None:
+    key_bytes = key.encode("utf-8")
+    if b"\x00" in key_bytes:
+        raise JsonbEncodeError("BSON keys cannot contain NUL bytes")
+    if value is None:
+        out.append(_T_NULL)
+        out += key_bytes + b"\x00"
+    elif isinstance(value, bool):
+        out.append(_T_BOOL)
+        out += key_bytes + b"\x00"
+        out.append(1 if value else 0)
+    elif isinstance(value, int):
+        out.append(_T_INT64)
+        out += key_bytes + b"\x00"
+        out += struct.pack("<q", value)
+    elif isinstance(value, float):
+        out.append(_T_DOUBLE)
+        out += key_bytes + b"\x00"
+        out += struct.pack("<d", value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(_T_STRING)
+        out += key_bytes + b"\x00"
+        out += struct.pack("<i", len(data) + 1)
+        out += data + b"\x00"
+    elif isinstance(value, dict):
+        out.append(_T_DOCUMENT)
+        out += key_bytes + b"\x00"
+        out += _encode_document(value)
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_ARRAY)
+        out += key_bytes + b"\x00"
+        out += _encode_document({str(i): item for i, item in enumerate(value)})
+    else:
+        raise JsonbEncodeError(f"cannot BSON-encode {type(value).__name__}")
+
+
+def _encode_document(value: dict) -> bytes:
+    body = bytearray()
+    for key, item in value.items():
+        _encode_element(body, key, item)
+    return struct.pack("<i", len(body) + 5) + bytes(body) + b"\x00"
+
+
+def encode(value: object) -> bytes:
+    """Encode a value.  BSON requires a document at the top level, so
+    non-dict roots are wrapped as ``{"": value}`` (as MongoDB drivers do
+    for scalars)."""
+    if isinstance(value, dict):
+        return _encode_document(value)
+    return _encode_document({"": value})
+
+
+def _read_cstring(buf: bytes, pos: int) -> Tuple[str, int]:
+    end = buf.index(b"\x00", pos)
+    return buf[pos:end].decode("utf-8"), end + 1
+
+
+def _decode_value(buf: bytes, pos: int, type_id: int) -> Tuple[object, int]:
+    if type_id == _T_NULL:
+        return None, pos
+    if type_id == _T_BOOL:
+        return buf[pos] != 0, pos + 1
+    if type_id == _T_INT64:
+        return struct.unpack_from("<q", buf, pos)[0], pos + 8
+    if type_id == _T_DOUBLE:
+        return struct.unpack_from("<d", buf, pos)[0], pos + 8
+    if type_id == _T_STRING:
+        length = struct.unpack_from("<i", buf, pos)[0]
+        start = pos + 4
+        return buf[start : start + length - 1].decode("utf-8"), start + length
+    if type_id == _T_DOCUMENT:
+        return _decode_document(buf, pos)
+    if type_id == _T_ARRAY:
+        doc, end = _decode_document(buf, pos)
+        return list(doc.values()), end
+    raise JsonbDecodeError(f"invalid BSON element type 0x{type_id:02x}")
+
+
+def _decode_document(buf: bytes, pos: int) -> Tuple[dict, int]:
+    size = struct.unpack_from("<i", buf, pos)[0]
+    end = pos + size
+    pos += 4
+    result = {}
+    while buf[pos] != 0:
+        type_id = buf[pos]
+        key, pos = _read_cstring(buf, pos + 1)
+        value, pos = _decode_value(buf, pos, type_id)
+        result[key] = value
+    if pos + 1 != end:
+        raise JsonbDecodeError("BSON document size mismatch")
+    return result, end
+
+
+def decode(buf: bytes) -> object:
+    """Decode a BSON document (unwrapping the scalar-root wrapper)."""
+    doc, end = _decode_document(buf, 0)
+    if end != len(buf):
+        raise JsonbDecodeError("trailing garbage after BSON document")
+    if list(doc.keys()) == [""]:
+        return doc[""]
+    return doc
+
+
+def _skip_value(buf: bytes, pos: int, type_id: int) -> int:
+    if type_id == _T_NULL:
+        return pos
+    if type_id == _T_BOOL:
+        return pos + 1
+    if type_id in (_T_INT64, _T_DOUBLE):
+        return pos + 8
+    if type_id == _T_STRING:
+        return pos + 4 + struct.unpack_from("<i", buf, pos)[0]
+    if type_id in (_T_DOCUMENT, _T_ARRAY):
+        return pos + struct.unpack_from("<i", buf, pos)[0]
+    raise JsonbDecodeError(f"invalid BSON element type 0x{type_id:02x}")
+
+
+def _find(buf: bytes, pos: int, step: Union[str, int]) -> Optional[Tuple[int, int]]:
+    """Linear scan for *step* inside the document at *pos*.  Returns the
+    ``(type_id, payload_pos)`` of the matching element."""
+    target = str(step)
+    pos += 4
+    while buf[pos] != 0:
+        type_id = buf[pos]
+        key, key_end = _read_cstring(buf, pos + 1)
+        if key == target:
+            return type_id, key_end
+        pos = _skip_value(buf, key_end, type_id)
+    return None
+
+
+def lookup(buf: bytes, path: KeyPath) -> Tuple[bool, object]:
+    """Follow a key path with BSON's linear per-level scans.
+
+    Returns ``(found, value)``; ``found`` is False when any step is
+    absent or descends into a scalar.
+    """
+    type_id, pos = _T_DOCUMENT, 0
+    for step in path.steps:
+        if type_id not in (_T_DOCUMENT, _T_ARRAY):
+            return False, None
+        hit = _find(buf, pos, step)
+        if hit is None:
+            return False, None
+        type_id, pos = hit
+    value, _ = _decode_value(buf, pos, type_id)
+    return True, value

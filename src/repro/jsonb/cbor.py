@@ -1,0 +1,227 @@
+"""CBOR-style baseline binary format (Section 6.9 competitor).
+
+A from-scratch implementation of the RFC 7049 subset needed for JSON
+values.  CBOR is an *exchange* format: headers are maximally compact
+(major type + additional info in one byte) and there are no offset
+tables, so it has the smallest storage footprint (paper Figure 19) but
+key lookups must sequentially parse and skip every preceding map entry
+— including fully traversing nested containers (paper Figure 20).
+
+Major types used: 0 unsigned int, 1 negative int, 3 text string,
+4 array, 5 map, 7 floats & simple values (false/true/null, half /
+single / double precision floats with lossless narrowing).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.jsonpath import KeyPath
+from repro.errors import JsonbDecodeError, JsonbEncodeError
+
+_MAJOR_UINT = 0
+_MAJOR_NEGINT = 1
+_MAJOR_TEXT = 3
+_MAJOR_ARRAY = 4
+_MAJOR_MAP = 5
+_MAJOR_SIMPLE = 7
+
+_SIMPLE_FALSE = 20
+_SIMPLE_TRUE = 21
+_SIMPLE_NULL = 22
+
+
+def _encode_head(out: bytearray, major: int, argument: int) -> None:
+    if argument < 24:
+        out.append((major << 5) | argument)
+    elif argument < 1 << 8:
+        out.append((major << 5) | 24)
+        out.append(argument)
+    elif argument < 1 << 16:
+        out.append((major << 5) | 25)
+        out += struct.pack(">H", argument)
+    elif argument < 1 << 32:
+        out.append((major << 5) | 26)
+        out += struct.pack(">I", argument)
+    else:
+        out.append((major << 5) | 27)
+        out += struct.pack(">Q", argument)
+
+
+def _encode_value(out: bytearray, value: object) -> None:
+    if value is None:
+        out.append((_MAJOR_SIMPLE << 5) | _SIMPLE_NULL)
+    elif isinstance(value, bool):
+        out.append((_MAJOR_SIMPLE << 5) | (_SIMPLE_TRUE if value else _SIMPLE_FALSE))
+    elif isinstance(value, int):
+        if value >= 0:
+            _encode_head(out, _MAJOR_UINT, value)
+        else:
+            _encode_head(out, _MAJOR_NEGINT, -1 - value)
+    elif isinstance(value, float):
+        _encode_float(out, value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        _encode_head(out, _MAJOR_TEXT, len(data))
+        out += data
+    elif isinstance(value, (list, tuple)):
+        _encode_head(out, _MAJOR_ARRAY, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, dict):
+        _encode_head(out, _MAJOR_MAP, len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise JsonbEncodeError("CBOR map keys must be strings here")
+            _encode_value(out, key)
+            _encode_value(out, item)
+    else:
+        raise JsonbEncodeError(f"cannot CBOR-encode {type(value).__name__}")
+
+
+def _encode_float(out: bytearray, value: float) -> None:
+    if math.isfinite(value) and abs(value) <= 65504.0 and float(np.float16(value)) == value:
+        out.append((_MAJOR_SIMPLE << 5) | 25)
+        out += struct.pack(">e", value)
+    elif math.isfinite(value) and abs(value) <= 3.4028235e38 and float(np.float32(value)) == value:
+        out.append((_MAJOR_SIMPLE << 5) | 26)
+        out += struct.pack(">f", value)
+    elif math.isinf(value):
+        out.append((_MAJOR_SIMPLE << 5) | 25)
+        out += struct.pack(">e", value)
+    else:
+        out.append((_MAJOR_SIMPLE << 5) | 27)
+        out += struct.pack(">d", value)
+
+
+def encode(value: object) -> bytes:
+    """Encode a parsed JSON value as CBOR bytes."""
+    out = bytearray()
+    _encode_value(out, value)
+    return bytes(out)
+
+
+def _read_argument(buf: bytes, pos: int, info: int) -> Tuple[int, int]:
+    if info < 24:
+        return info, pos
+    if info == 24:
+        return buf[pos], pos + 1
+    if info == 25:
+        return struct.unpack_from(">H", buf, pos)[0], pos + 2
+    if info == 26:
+        return struct.unpack_from(">I", buf, pos)[0], pos + 4
+    if info == 27:
+        return struct.unpack_from(">Q", buf, pos)[0], pos + 8
+    raise JsonbDecodeError(f"unsupported CBOR additional info {info}")
+
+
+def _decode_value(buf: bytes, pos: int) -> Tuple[object, int]:
+    major, info = buf[pos] >> 5, buf[pos] & 0x1F
+    pos += 1
+    if major == _MAJOR_UINT:
+        return _read_argument(buf, pos, info)
+    if major == _MAJOR_NEGINT:
+        argument, pos = _read_argument(buf, pos, info)
+        return -1 - argument, pos
+    if major == _MAJOR_TEXT:
+        length, pos = _read_argument(buf, pos, info)
+        return buf[pos : pos + length].decode("utf-8"), pos + length
+    if major == _MAJOR_ARRAY:
+        count, pos = _read_argument(buf, pos, info)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_value(buf, pos)
+            items.append(item)
+        return items, pos
+    if major == _MAJOR_MAP:
+        count, pos = _read_argument(buf, pos, info)
+        result = {}
+        for _ in range(count):
+            key, pos = _decode_value(buf, pos)
+            value, pos = _decode_value(buf, pos)
+            result[key] = value
+        return result, pos
+    if major == _MAJOR_SIMPLE:
+        if info == _SIMPLE_NULL:
+            return None, pos
+        if info == _SIMPLE_TRUE:
+            return True, pos
+        if info == _SIMPLE_FALSE:
+            return False, pos
+        if info == 25:
+            return struct.unpack_from(">e", buf, pos)[0], pos + 2
+        if info == 26:
+            return struct.unpack_from(">f", buf, pos)[0], pos + 4
+        if info == 27:
+            return struct.unpack_from(">d", buf, pos)[0], pos + 8
+    raise JsonbDecodeError(f"invalid CBOR header {buf[pos - 1]:#04x}")
+
+
+def decode(buf: bytes) -> object:
+    """Decode a CBOR document."""
+    value, end = _decode_value(buf, 0)
+    if end != len(buf):
+        raise JsonbDecodeError("trailing garbage after CBOR document")
+    return value
+
+
+def _skip_value(buf: bytes, pos: int) -> int:
+    """Skipping has no shortcut in CBOR: containers must be walked."""
+    major, info = buf[pos] >> 5, buf[pos] & 0x1F
+    pos += 1
+    if major in (_MAJOR_UINT, _MAJOR_NEGINT):
+        _, pos = _read_argument(buf, pos, info)
+        return pos
+    if major == _MAJOR_TEXT:
+        length, pos = _read_argument(buf, pos, info)
+        return pos + length
+    if major == _MAJOR_ARRAY:
+        count, pos = _read_argument(buf, pos, info)
+        for _ in range(count):
+            pos = _skip_value(buf, pos)
+        return pos
+    if major == _MAJOR_MAP:
+        count, pos = _read_argument(buf, pos, info)
+        for _ in range(2 * count):
+            pos = _skip_value(buf, pos)
+        return pos
+    if major == _MAJOR_SIMPLE:
+        if info in (_SIMPLE_NULL, _SIMPLE_TRUE, _SIMPLE_FALSE):
+            return pos
+        return pos + {25: 2, 26: 4, 27: 8}[info]
+    raise JsonbDecodeError(f"invalid CBOR header {buf[pos - 1]:#04x}")
+
+
+def lookup(buf: bytes, path: KeyPath) -> Tuple[bool, object]:
+    """Follow a key path by sequentially scanning map entries and array
+    prefixes (no random access in CBOR)."""
+    pos = 0
+    for step in path.steps:
+        major, info = buf[pos] >> 5, buf[pos] & 0x1F
+        if isinstance(step, str):
+            if major != _MAJOR_MAP:
+                return False, None
+            count, pos = _read_argument(buf, pos + 1, info)
+            found = False
+            for _ in range(count):
+                key, pos = _decode_value(buf, pos)
+                if key == step:
+                    found = True
+                    break
+                pos = _skip_value(buf, pos)
+            if not found:
+                return False, None
+        else:
+            if major != _MAJOR_ARRAY:
+                return False, None
+            count, pos = _read_argument(buf, pos + 1, info)
+            if not 0 <= step < count:
+                return False, None
+            for _ in range(step):
+                pos = _skip_value(buf, pos)
+    value, _ = _decode_value(buf, pos)
+    return True, value

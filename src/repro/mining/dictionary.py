@@ -1,0 +1,102 @@
+"""Dictionary encoding of (key path, type) items (Section 3.3).
+
+"We collect all keys from the documents and store them dictionary
+encoded.  Dictionaries are created for every JSON tile and are used as
+the database to mine."  The dictionary maps a typed key path to a dense
+integer id; FPGrowth then operates on integer transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.jsonpath import KeyPath, collect_key_paths
+from repro.core.types import JsonType
+
+Item = Tuple[KeyPath, JsonType]
+
+
+class ItemDictionary:
+    """Dense integer encoding of typed key paths, with occurrence counts."""
+
+    __slots__ = ("_ids", "_items", "counts")
+
+    def __init__(self):
+        self._ids: Dict[Item, int] = {}
+        self._items: List[Item] = []
+        self.counts: List[int] = []
+
+    def encode(self, item: Item) -> int:
+        item_id = self._ids.get(item)
+        if item_id is None:
+            item_id = len(self._items)
+            self._ids[item] = item_id
+            self._items.append(item)
+            self.counts.append(0)
+        self.counts[item_id] += 1
+        return item_id
+
+    def lookup(self, item: Item) -> int:
+        """Id of an item that must already exist."""
+        return self._ids[item]
+
+    def decode(self, item_id: int) -> Item:
+        return self._items[item_id]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._ids
+
+    def items(self) -> Iterable[Tuple[Item, int]]:
+        return iter(self._ids.items())
+
+    def key_counts(self) -> Dict[str, int]:
+        """Key-path frequency database stored in the tile header
+        (Section 4.4): textual path -> tuples containing it."""
+        merged: Dict[str, int] = {}
+        for (path, _jtype), item_id in self._ids.items():
+            text = str(path)
+            merged[text] = merged.get(text, 0) + self.counts[item_id]
+        return merged
+
+
+def encode_documents(
+    documents: Sequence[object], max_array_elements: int = 8
+) -> Tuple[ItemDictionary, List[List[int]]]:
+    """Collect the typed key paths of every document and dictionary-encode
+    them into integer transactions (Section 3.1 steps 1-2 input)."""
+    dictionary = ItemDictionary()
+    transactions: List[List[int]] = []
+    for document in documents:
+        paths = collect_key_paths(document, max_array_elements)
+        transaction = sorted({dictionary.encode(item) for item in paths})
+        transactions.append(transaction)
+    return dictionary, transactions
+
+
+def subset_dictionary(
+    parent: ItemDictionary, transactions: Sequence[Sequence[int]]
+) -> Tuple[ItemDictionary, List[List[int]]]:
+    """Re-encode a slice of transactions with tile-local ids and counts.
+
+    Tile construction after partition reordering reuses the partition's
+    already-collected transactions instead of traversing every document
+    a second time; this builds the tile-local dictionary the extraction
+    step expects.
+    """
+    local = ItemDictionary()
+    remapped: List[List[int]] = []
+    mapping: Dict[int, Item] = {}
+    for transaction in transactions:
+        row = []
+        for item_id in transaction:
+            item = mapping.get(item_id)
+            if item is None:
+                item = parent.decode(item_id)
+                mapping[item_id] = item
+            row.append(local.encode(item))
+        row.sort()
+        remapped.append(row)
+    return local, remapped

@@ -1,0 +1,305 @@
+"""FPGrowth frequent itemset mining (Section 3.3).
+
+JSON tiles mines frequent itemsets of dictionary-encoded (key path,
+type) items to decide which paths to materialize and how to redistribute
+tuples between tiles.  FPGrowth [29] avoids Apriori's candidate
+generation: it builds a prefix tree of frequent items and recursively
+mines conditional pattern trees.
+
+Because the number of frequent itemsets is in the worst case the power
+set of the frequent items, mining is bounded by a *budget* ``u`` on the
+number of produced itemsets.  Equation (1) of the paper turns the budget
+into a maximal itemset size ``k``: all subsets of size 1..k of the n
+frequent items must fit within the budget, which bounds the recursion
+depth so "the system is not overloaded during JSON tile
+materialization".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import MiningError
+
+Itemset = FrozenSet[int]
+
+DEFAULT_BUDGET = 4096
+
+
+def max_itemset_size(num_items: int, budget: int) -> int:
+    """Compute ``k`` from equation (1): the largest k such that
+    ``sum_{i=1..k} C(n, i) <= budget`` (at least 1 so single items are
+    always mined)."""
+    if num_items <= 0:
+        return 0
+    total = 0
+    for k in range(1, num_items + 1):
+        total += math.comb(num_items, k)
+        if total > budget:
+            return max(1, k - 1)
+    return num_items
+
+
+class _Node:
+    __slots__ = ("item", "count", "parent", "children")
+
+    def __init__(self, item: int, parent: Optional["_Node"]):
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: Dict[int, "_Node"] = {}
+
+
+class _FPTree:
+    """Prefix tree of frequent items with a header table of node lists."""
+
+    def __init__(self):
+        self.root = _Node(-1, None)
+        self.header: Dict[int, List[_Node]] = {}
+
+    def insert(self, items: Sequence[int], count: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _Node(item, node)
+                node.children[item] = child
+                self.header.setdefault(item, []).append(child)
+            child.count += count
+            node = child
+
+    def prefix_paths(self, item: int) -> List[Tuple[List[int], int]]:
+        """Conditional pattern base: the path above every node of *item*."""
+        paths = []
+        for node in self.header.get(item, ()):
+            path: List[int] = []
+            parent = node.parent
+            while parent is not None and parent.item != -1:
+                path.append(parent.item)
+                parent = parent.parent
+            path.reverse()
+            paths.append((path, node.count))
+        return paths
+
+    def is_single_path(self) -> Optional[List[Tuple[int, int]]]:
+        """If the tree is a single chain, return [(item, count)]; the
+        mining of such trees enumerates subsets directly."""
+        chain: List[Tuple[int, int]] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            node = next(iter(node.children.values()))
+            chain.append((node.item, node.count))
+        return chain
+
+
+class FPGrowth:
+    """Budgeted FPGrowth miner over integer-item transactions."""
+
+    def __init__(self, min_count: int, budget: int = DEFAULT_BUDGET):
+        if min_count < 1:
+            raise MiningError("min_count must be at least 1")
+        if budget < 1:
+            raise MiningError("budget must be at least 1")
+        self.min_count = min_count
+        self.budget = budget
+
+    def mine(self, transactions: Iterable[Sequence[int]]) -> Dict[Itemset, int]:
+        """Return ``{itemset: support_count}`` for every frequent itemset
+        up to the budgeted size; smaller itemsets are produced first."""
+        transactions = [list(t) for t in transactions]
+        counts: Dict[int, int] = {}
+        for transaction in transactions:
+            for item in set(transaction):
+                counts[item] = counts.get(item, 0) + 1
+        frequent = {item for item, count in counts.items() if count >= self.min_count}
+        if not frequent:
+            return {}
+        max_size = max_itemset_size(len(frequent), self.budget)
+
+        # Order transactions by descending frequency (ties by item id)
+        # so shared prefixes compress the tree.
+        def order(item: int) -> Tuple[int, int]:
+            return (-counts[item], item)
+
+        tree = _FPTree()
+        for transaction in transactions:
+            kept = sorted({i for i in transaction if i in frequent}, key=order)
+            if kept:
+                tree.insert(kept, 1)
+
+        result: Dict[Itemset, int] = {}
+        self._mine_tree(tree, frozenset(), counts, max_size, result)
+        return result
+
+    def _mine_tree(self, tree: _FPTree, suffix: Itemset,
+                   counts: Dict[int, int], max_size: int,
+                   result: Dict[Itemset, int]) -> None:
+        if len(suffix) >= max_size or len(result) >= self.budget:
+            return
+        chain = tree.is_single_path()
+        if chain is not None:
+            self._mine_single_path(chain, suffix, max_size, result)
+            return
+        header_items = sorted(tree.header, key=lambda item: (counts[item], -item))
+        for item in header_items:
+            support = sum(node.count for node in tree.header[item])
+            if support < self.min_count:
+                continue
+            itemset = suffix | {item}
+            if len(result) >= self.budget:
+                return
+            result[itemset] = support
+            if len(itemset) >= max_size:
+                continue
+            conditional = _FPTree()
+            conditional_counts: Dict[int, int] = {}
+            paths = tree.prefix_paths(item)
+            for path, count in paths:
+                for path_item in path:
+                    conditional_counts[path_item] = (
+                        conditional_counts.get(path_item, 0) + count
+                    )
+            keep = {i for i, c in conditional_counts.items() if c >= self.min_count}
+            if not keep:
+                continue
+
+            def cond_order(i: int) -> Tuple[int, int]:
+                return (-conditional_counts[i], i)
+
+            for path, count in paths:
+                kept = sorted((i for i in path if i in keep), key=cond_order)
+                if kept:
+                    conditional.insert(kept, count)
+            self._mine_tree(conditional, itemset, conditional_counts,
+                            max_size, result)
+
+    def _mine_single_path(self, chain: List[Tuple[int, int]], suffix: Itemset,
+                          max_size: int, result: Dict[Itemset, int]) -> None:
+        """All combinations of a single-path tree are frequent; support of
+        a combination is the count of its deepest item.  Enumerate
+        breadth-first so smaller itemsets come first (budget fairness)."""
+        eligible = [(item, count) for item, count in chain
+                    if count >= self.min_count]
+        frontier: List[Tuple[Itemset, int, int]] = [(suffix, -1, 0)]
+        while frontier:
+            next_frontier: List[Tuple[Itemset, int, int]] = []
+            for base, last_index, _depth in frontier:
+                for index in range(last_index + 1, len(eligible)):
+                    if len(result) >= self.budget:
+                        return
+                    item, count = eligible[index]
+                    itemset = base | {item}
+                    if len(itemset) > max_size:
+                        continue
+                    result[itemset] = count
+                    if len(itemset) < max_size:
+                        next_frontier.append((itemset, index, 0))
+            frontier = next_frontier
+
+
+def maximal_itemsets(frequent: Dict[Itemset, int]) -> Dict[Itemset, int]:
+    """Keep only itemsets not strictly contained in another frequent
+    itemset."""
+    by_size = sorted(frequent, key=len, reverse=True)
+    maximal: List[Itemset] = []
+    result: Dict[Itemset, int] = {}
+    for itemset in by_size:
+        if any(itemset < kept for kept in maximal):
+            continue
+        maximal.append(itemset)
+        result[itemset] = frequent[itemset]
+    return result
+
+
+def closed_itemsets(frequent: Dict[Itemset, int]) -> Dict[Itemset, int]:
+    """The "maximum subsets" of Section 3.1 step 2: an itemset survives
+    unless a strict superset has the *same* frequency (every further
+    subset of a maximum itemset has the same frequency).  In the paper's
+    tile #2 example this keeps both ({i,c,t,u_i,r}, 4) and
+    ({i,c,t,u_i,r,g_l}, 3).
+
+    Only equal-support supersets can dominate, so the subset checks are
+    confined to same-support buckets.
+    """
+    by_support: Dict[int, List[Itemset]] = {}
+    for itemset, support in frequent.items():
+        by_support.setdefault(support, []).append(itemset)
+    result: Dict[Itemset, int] = {}
+    for support, bucket in by_support.items():
+        bucket.sort(key=len, reverse=True)
+        kept: List[Itemset] = []
+        for itemset in bucket:
+            if not any(itemset < other for other in kept):
+                kept.append(itemset)
+                result[itemset] = support
+    return result
+
+
+class ItemsetMatcher:
+    """Repeated best-itemset matching over a fixed itemset list.
+
+    Itemsets and transactions are encoded as integer bitmasks so the
+    per-tuple work of Section 3.2 step 3 is a handful of ``&`` /
+    ``bit_count`` operations instead of set intersections.
+    """
+
+    __slots__ = ("_itemsets", "_masks", "_sizes", "_sums")
+
+    def __init__(self, itemsets: Sequence[Itemset]):
+        self._itemsets = list(itemsets)
+        self._masks = [_mask(itemset) for itemset in itemsets]
+        self._sizes = [len(itemset) for itemset in itemsets]
+        self._sums = [sum(itemset) for itemset in itemsets]
+
+    def match(self, transaction) -> Optional[Itemset]:
+        """Same semantics as :func:`best_match`."""
+        tmask = _mask(transaction)
+        best = -1
+        best_key = None
+        for index, smask in enumerate(self._masks):
+            overlap = (tmask & smask).bit_count()
+            if overlap == 0:
+                continue
+            key = (-overlap, self._sizes[index] - overlap,
+                   -self._sizes[index], self._sums[index])
+            if best_key is None or key < best_key:
+                best_key = key
+                best = index
+        if best < 0:
+            return None
+        return self._itemsets[best]
+
+
+def _mask(items) -> int:
+    mask = 0
+    for item in items:
+        mask |= 1 << item
+    return mask
+
+
+def best_match(transaction: Itemset,
+               itemsets: Sequence[Itemset]) -> Optional[Itemset]:
+    """Pick the itemset that describes a tuple best (Section 3.2 step 3).
+
+    The largest overlap ("most items in common") wins; among equal
+    overlaps, the itemset claiming the fewest keys the tuple *lacks*
+    describes it better (a pure subtype must not be absorbed into its
+    supertype's cluster); then the larger itemset; remaining ties are
+    resolved deterministically by the minimal sum of item ids so every
+    tuple with the same tie picks the same itemset.
+    """
+    best: Optional[Itemset] = None
+    best_key: Optional[Tuple[int, int, int, int]] = None
+    for itemset in itemsets:
+        overlap = len(transaction & itemset)
+        if overlap == 0:
+            continue
+        missing = len(itemset) - overlap
+        key = (-overlap, missing, -len(itemset), sum(itemset))
+        if best_key is None or key < best_key:
+            best_key = key
+            best = itemset
+    return best

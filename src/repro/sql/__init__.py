@@ -1,0 +1,13 @@
+"""SQL front end: lexer, parser, binder.
+
+The subset covers everything the paper's workloads need: JSON access
+operators (``->``, ``->>``), ``::`` casts, joins (implicit, INNER,
+LEFT), grouping/aggregation, HAVING, ORDER BY/LIMIT, CTEs, EXISTS/IN
+subqueries (decorrelated to semi/anti joins), correlated scalar
+aggregates, date/interval literals, CASE, LIKE, EXTRACT and SUBSTRING.
+"""
+
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+
+__all__ = ["Binder", "parse"]

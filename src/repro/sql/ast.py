@@ -1,0 +1,220 @@
+"""Abstract syntax tree of the SQL subset.
+
+All nodes are frozen dataclasses: structural equality lets the binder
+match GROUP BY expressions against SELECT sub-expressions without
+fuzzy text comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Node:
+    pass
+
+
+# -- literals ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumberLit(Node):
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class StringLit(Node):
+    value: str
+
+
+@dataclass(frozen=True)
+class NullLit(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class BoolLit(Node):
+    value: bool
+
+
+@dataclass(frozen=True)
+class DateLit(Node):
+    """``DATE '1994-01-01'`` / ``TIMESTAMP '...'``."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class IntervalLit(Node):
+    """``INTERVAL '3' MONTH``."""
+
+    amount: int
+    unit: str
+
+
+# -- references and access --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Identifier(Node):
+    """``name`` or ``alias.name`` (or ``alias.rowid``)."""
+
+    parts: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class JsonAccess(Node):
+    """``base -> 'key'`` (as JSON) or ``base ->> 'key'`` (as text);
+    the step may be an integer array slot."""
+
+    base: Node
+    step: Union[str, int]
+    as_text: bool
+
+
+@dataclass(frozen=True)
+class CastExpr(Node):
+    """``expr::typename``."""
+
+    operand: Node
+    type_name: str
+
+
+# -- operators ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str  # "not" | "-"
+    operand: Node
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str  # and/or, comparisons, + - * /
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class IsNullExpr(Node):
+    operand: Node
+    negated: bool
+
+
+@dataclass(frozen=True)
+class BetweenExpr(Node):
+    operand: Node
+    low: Node
+    high: Node
+    negated: bool
+
+
+@dataclass(frozen=True)
+class LikeExpr(Node):
+    operand: Node
+    pattern: str
+    negated: bool
+
+
+@dataclass(frozen=True)
+class InListExpr(Node):
+    operand: Node
+    items: Tuple[Node, ...]
+    negated: bool
+
+
+@dataclass(frozen=True)
+class InSubquery(Node):
+    operand: Node
+    query: "SelectStmt"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Node):
+    query: "SelectStmt"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Node):
+    query: "SelectStmt"
+
+
+@dataclass(frozen=True)
+class FuncCall(Node):
+    name: str
+    args: Tuple[Node, ...]
+    distinct: bool = False
+    star: bool = False  # count(*)
+
+
+@dataclass(frozen=True)
+class CaseExpr(Node):
+    branches: Tuple[Tuple[Node, Node], ...]
+    default: Optional[Node]
+
+
+@dataclass(frozen=True)
+class ExtractExpr(Node):
+    field_name: str
+    operand: Node
+
+
+@dataclass(frozen=True)
+class SubstringExpr(Node):
+    operand: Node
+    start: int
+    length: int
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    expr: Node
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class TableRefAst(Node):
+    """Base table or derived table (subquery) with an alias."""
+
+    name: Optional[str]
+    subquery: Optional["SelectStmt"]
+    alias: str
+
+
+@dataclass(frozen=True)
+class LeftJoinAst(Node):
+    right: TableRefAst
+    condition: Node
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    #: an expression, a 1-based position, or a select alias
+    target: Union[Node, int, str]
+    descending: bool
+
+
+@dataclass(frozen=True)
+class SelectStmt(Node):
+    items: Tuple[SelectItem, ...]
+    from_tables: Tuple[TableRefAst, ...]
+    left_joins: Tuple[LeftJoinAst, ...] = ()
+    where: Optional[Node] = None
+    group_by: Tuple[Node, ...] = ()
+    having: Optional[Node] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+    ctes: Tuple[Tuple[str, "SelectStmt"], ...] = ()
+    #: UNION ALL branches (each a core select without order/limit);
+    #: the trailing ORDER BY / LIMIT of this statement applies to the
+    #: concatenated result
+    unions: Tuple["SelectStmt", ...] = ()

@@ -1,0 +1,71 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "and", "or", "not", "as", "on", "join", "left", "outer", "inner",
+    "in", "exists", "between", "like", "is", "null", "true", "false",
+    "case", "when", "then", "else", "end", "distinct", "asc", "desc",
+    "date", "timestamp", "interval", "extract", "substring", "for",
+    "with", "union", "all", "count", "sum", "avg", "min", "max",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<number>\d+(\.\d+)?([eE][+-]?\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op>->>|->|::|<=|>=|<>|!=|=|<|>|\(|\)|,|\.|\+|-|\*|/|;)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class Token:
+    kind: str  # "number" | "string" | "op" | "ident" | "keyword" | "eof"
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        pos = match.end()
+        if match.lastgroup == "ws" or match.group("ws"):
+            continue
+        if match.group("number"):
+            tokens.append(Token("number", match.group("number"), match.start()))
+        elif match.group("string"):
+            raw = match.group("string")[1:-1].replace("''", "'")
+            tokens.append(Token("string", raw, match.start()))
+        elif match.group("op"):
+            tokens.append(Token("op", match.group("op"), match.start()))
+        else:
+            word = match.group("ident")
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, match.start()))
+            else:
+                tokens.append(Token("ident", word, match.start()))
+    tokens.append(Token("eof", "", len(text)))
+    return tokens

@@ -1,0 +1,465 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (roughly):
+
+    query      := [WITH name AS (query) [, ...]] SELECT [DISTINCT] items
+                  FROM from_item [, ...]
+                  [LEFT [OUTER] JOIN table ON expr]*
+                  [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+                  [ORDER BY order_list] [LIMIT n]
+    expr       := or-expression with AND/OR/NOT, comparisons, BETWEEN,
+                  [NOT] IN (list | subquery), [NOT] LIKE, IS [NOT] NULL,
+                  arithmetic, ``->``/``->>`` JSON access, ``::`` casts,
+                  CASE, EXISTS, scalar subqueries, EXTRACT, SUBSTRING,
+                  DATE/TIMESTAMP/INTERVAL literals and aggregates
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import Token, tokenize
+
+_AGGREGATES = {"count", "sum", "avg", "min", "max"}
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.index = 0
+        # INNER JOIN ... ON conditions folded into WHERE, one buffer per
+        # (possibly nested) SELECT being parsed
+        self._inner_stack: List[List[ast.Node]] = []
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, value: str = None) -> Optional[Token]:
+        if self.current.matches(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            raise SqlSyntaxError(
+                f"expected {value or kind!r}, found {self.current.value!r} "
+                f"at position {self.current.position}"
+            )
+        return token
+
+    def accept_keyword(self, *words: str) -> Optional[str]:
+        if self.current.kind == "keyword" and self.current.value in words:
+            return self.advance().value
+        return None
+
+    # -- entry points --------------------------------------------------------
+
+    def parse_query(self) -> ast.SelectStmt:
+        stmt = self._select_stmt()
+        self.accept("op", ";")
+        if not self.current.matches("eof"):
+            raise SqlSyntaxError(
+                f"trailing input at position {self.current.position}: "
+                f"{self.current.value!r}"
+            )
+        return stmt
+
+    # -- statements ------------------------------------------------------------
+
+    def _select_stmt(self) -> ast.SelectStmt:
+        self._inner_stack.append([])
+        try:
+            return self._select_stmt_body()
+        finally:
+            self._inner_stack.pop()
+
+    def _select_stmt_body(self) -> ast.SelectStmt:
+        ctes: List[Tuple[str, ast.SelectStmt]] = []
+        if self.accept_keyword("with"):
+            while True:
+                name = self.expect("ident").value
+                self.expect("keyword", "as")
+                self.expect("op", "(")
+                ctes.append((name, self._select_stmt()))
+                self.expect("op", ")")
+                if not self.accept("op", ","):
+                    break
+        self.expect("keyword", "select")
+        distinct = bool(self.accept_keyword("distinct"))
+        items = [self._select_item()]
+        while self.accept("op", ","):
+            items.append(self._select_item())
+        self.expect("keyword", "from")
+        tables = [self._table_ref()]
+        left_joins: List[ast.LeftJoinAst] = []
+        while True:
+            if self.accept("op", ","):
+                tables.append(self._table_ref())
+            elif self.current.matches("keyword", "left"):
+                self.advance()
+                self.accept_keyword("outer")
+                self.expect("keyword", "join")
+                right = self._table_ref()
+                self.expect("keyword", "on")
+                left_joins.append(ast.LeftJoinAst(right, self._expr()))
+            elif self.accept_keyword("inner") or self.current.matches("keyword", "join"):
+                self.expect("keyword", "join")
+                right = self._table_ref()
+                self.expect("keyword", "on")
+                tables.append(right)
+                # inner-join conditions are plain predicates
+                condition = self._expr()
+                left_joins.append(ast.LeftJoinAst(right, condition))
+                # mark as inner by folding into WHERE later: we encode
+                # inner joins via a sentinel by replacing the last
+                # left_joins entry; handled below
+                inner = left_joins.pop()
+                self._pending_inner.append(inner.condition)
+            else:
+                break
+        where = self._expr() if self.accept_keyword("where") else None
+        group_by: List[ast.Node] = []
+        if self.accept_keyword("group"):
+            self.expect("keyword", "by")
+            group_by.append(self._expr())
+            while self.accept("op", ","):
+                group_by.append(self._expr())
+        having = self._expr() if self.accept_keyword("having") else None
+        # UNION ALL chain: each branch is a core select; a trailing
+        # ORDER BY / LIMIT (syntactically attached to the last branch)
+        # applies to the concatenated result and is hoisted here
+        unions: List[ast.SelectStmt] = []
+        hoisted_order: Tuple[ast.OrderItem, ...] = ()
+        hoisted_limit: Optional[int] = None
+        while self.current.matches("keyword", "union"):
+            self.advance()
+            self.expect("keyword", "all")
+            branch = self._select_stmt()
+            hoisted_order = branch.order_by
+            hoisted_limit = branch.limit
+            # flatten nested unions into one chain
+            unions.append(ast.SelectStmt(
+                items=branch.items, from_tables=branch.from_tables,
+                left_joins=branch.left_joins, where=branch.where,
+                group_by=branch.group_by, having=branch.having,
+                distinct=branch.distinct, ctes=branch.ctes))
+            unions.extend(branch.unions)
+        order_by: List[ast.OrderItem] = list(hoisted_order)
+        if self.accept_keyword("order"):
+            self.expect("keyword", "by")
+            order_by.append(self._order_item())
+            while self.accept("op", ","):
+                order_by.append(self._order_item())
+        limit = hoisted_limit
+        if self.accept_keyword("limit"):
+            limit = int(self.expect("number").value)
+        # fold INNER JOIN ... ON conditions into WHERE
+        for condition in self._collect_pending_inner():
+            where = condition if where is None else ast.Binary("and", where,
+                                                               condition)
+        return ast.SelectStmt(
+            items=tuple(items),
+            from_tables=tuple(tables),
+            left_joins=tuple(left_joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+            ctes=tuple(ctes),
+            unions=tuple(unions),
+        )
+
+    @property
+    def _pending_inner(self) -> List[ast.Node]:
+        return self._inner_stack[-1]
+
+    def _collect_pending_inner(self) -> List[ast.Node]:
+        pending = list(self._pending_inner)
+        self._pending_inner.clear()
+        return pending
+
+    def _select_item(self) -> ast.SelectItem:
+        expr = self._expr()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect("ident").value
+        elif self.current.kind == "ident":
+            alias = self.advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _table_ref(self) -> ast.TableRefAst:
+        if self.accept("op", "("):
+            subquery = self._select_stmt()
+            self.expect("op", ")")
+            self.accept_keyword("as")
+            alias = self.expect("ident").value
+            return ast.TableRefAst(None, subquery, alias)
+        name = self.expect("ident").value
+        alias = name
+        if self.accept_keyword("as"):
+            alias = self.expect("ident").value
+        elif self.current.kind == "ident":
+            alias = self.advance().value
+        return ast.TableRefAst(name, None, alias)
+
+    def _order_item(self) -> ast.OrderItem:
+        if self.current.kind == "number":
+            target: Union[ast.Node, int, str] = int(self.advance().value)
+        else:
+            expr = self._expr()
+            if isinstance(expr, ast.Identifier) and len(expr.parts) == 1:
+                target = expr.parts[0]
+            else:
+                target = expr
+        descending = False
+        if self.accept_keyword("desc"):
+            descending = True
+        else:
+            self.accept_keyword("asc")
+        return ast.OrderItem(target, descending)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self) -> ast.Node:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Node:
+        left = self._and_expr()
+        while self.accept_keyword("or"):
+            left = ast.Binary("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Node:
+        left = self._not_expr()
+        while self.accept_keyword("and"):
+            left = ast.Binary("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Node:
+        if self.accept_keyword("not"):
+            return ast.Unary("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Node:
+        left = self._additive()
+        while True:
+            if self.current.kind == "op" and self.current.value in _COMPARISONS:
+                op = self.advance().value
+                if op == "!=":
+                    op = "<>"
+                left = ast.Binary(op, left, self._additive())
+                continue
+            negated = False
+            save = self.index
+            if self.accept_keyword("not"):
+                negated = True
+            if self.accept_keyword("between"):
+                low = self._additive()
+                self.expect("keyword", "and")
+                high = self._additive()
+                left = ast.BetweenExpr(left, low, high, negated)
+                continue
+            if self.accept_keyword("in"):
+                left = self._in_tail(left, negated)
+                continue
+            if self.accept_keyword("like"):
+                pattern = self.expect("string").value
+                left = ast.LikeExpr(left, pattern, negated)
+                continue
+            if negated:
+                self.index = save  # the NOT belonged to something else
+                break
+            if self.accept_keyword("is"):
+                is_negated = bool(self.accept_keyword("not"))
+                self.expect("keyword", "null")
+                left = ast.IsNullExpr(left, is_negated)
+                continue
+            break
+        return left
+
+    def _in_tail(self, operand: ast.Node, negated: bool) -> ast.Node:
+        self.expect("op", "(")
+        if self.current.matches("keyword", "select") or \
+                self.current.matches("keyword", "with"):
+            query = self._select_stmt()
+            self.expect("op", ")")
+            return ast.InSubquery(operand, query, negated)
+        items = [self._expr()]
+        while self.accept("op", ","):
+            items.append(self._expr())
+        self.expect("op", ")")
+        return ast.InListExpr(operand, tuple(items), negated)
+
+    def _additive(self) -> ast.Node:
+        left = self._multiplicative()
+        while self.current.kind == "op" and self.current.value in ("+", "-"):
+            op = self.advance().value
+            left = ast.Binary(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> ast.Node:
+        left = self._unary()
+        while self.current.kind == "op" and self.current.value in ("*", "/"):
+            op = self.advance().value
+            left = ast.Binary(op, left, self._unary())
+        return left
+
+    def _unary(self) -> ast.Node:
+        if self.accept("op", "-"):
+            return ast.Unary("-", self._unary())
+        if self.accept("op", "+"):
+            return self._unary()
+        return self._postfix()
+
+    def _postfix(self) -> ast.Node:
+        expr = self._primary()
+        while True:
+            if self.accept("op", "->>"):
+                expr = ast.JsonAccess(expr, self._json_step(), as_text=True)
+            elif self.accept("op", "->"):
+                expr = ast.JsonAccess(expr, self._json_step(), as_text=False)
+            elif self.accept("op", "::"):
+                type_token = self.accept("ident") or self.accept("keyword")
+                if type_token is None:
+                    raise SqlSyntaxError("expected type name after '::'")
+                expr = ast.CastExpr(expr, type_token.value.lower())
+            else:
+                break
+        return expr
+
+    def _json_step(self) -> Union[str, int]:
+        if self.current.kind == "string":
+            return self.advance().value
+        if self.current.kind == "number":
+            return int(self.advance().value)
+        raise SqlSyntaxError(
+            f"expected key or index after JSON access operator at "
+            f"position {self.current.position}"
+        )
+
+    def _primary(self) -> ast.Node:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            text = token.value
+            value = float(text) if ("." in text or "e" in text or "E" in text) \
+                else int(text)
+            return ast.NumberLit(value)
+        if token.kind == "string":
+            self.advance()
+            return ast.StringLit(token.value)
+        if token.kind == "keyword":
+            return self._keyword_primary()
+        if token.kind == "ident":
+            return self._identifier_or_call()
+        if self.accept("op", "("):
+            if self.current.matches("keyword", "select") or \
+                    self.current.matches("keyword", "with"):
+                query = self._select_stmt()
+                self.expect("op", ")")
+                return ast.ScalarSubquery(query)
+            expr = self._expr()
+            self.expect("op", ")")
+            return expr
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} at position {token.position}"
+        )
+
+    def _keyword_primary(self) -> ast.Node:
+        if self.accept_keyword("null"):
+            return ast.NullLit()
+        if self.accept_keyword("true"):
+            return ast.BoolLit(True)
+        if self.accept_keyword("false"):
+            return ast.BoolLit(False)
+        if self.accept_keyword("date") or self.accept_keyword("timestamp"):
+            return ast.DateLit(self.expect("string").value)
+        if self.accept_keyword("interval"):
+            amount = int(self.expect("string").value)
+            unit_token = self.accept("ident") or self.advance()
+            return ast.IntervalLit(amount, unit_token.value.lower())
+        if self.accept_keyword("case"):
+            return self._case_expr()
+        if self.accept_keyword("exists"):
+            self.expect("op", "(")
+            query = self._select_stmt()
+            self.expect("op", ")")
+            return ast.ExistsExpr(query, negated=False)
+        if self.accept_keyword("extract"):
+            self.expect("op", "(")
+            field_token = self.accept("ident") or self.advance()
+            self.expect("keyword", "from")
+            operand = self._expr()
+            self.expect("op", ")")
+            return ast.ExtractExpr(field_token.value.lower(), operand)
+        if self.accept_keyword("substring"):
+            self.expect("op", "(")
+            operand = self._expr()
+            self.expect("keyword", "from")
+            start = int(self.expect("number").value)
+            self.expect("keyword", "for")
+            length = int(self.expect("number").value)
+            self.expect("op", ")")
+            return ast.SubstringExpr(operand, start, length)
+        word = self.current.value
+        if word in _AGGREGATES:
+            self.advance()
+            return self._aggregate_call(word)
+        raise SqlSyntaxError(
+            f"unexpected keyword {word!r} at position {self.current.position}"
+        )
+
+    def _aggregate_call(self, name: str) -> ast.Node:
+        self.expect("op", "(")
+        if name == "count" and self.accept("op", "*"):
+            self.expect("op", ")")
+            return ast.FuncCall("count", (), star=True)
+        distinct = bool(self.accept_keyword("distinct"))
+        arg = self._expr()
+        self.expect("op", ")")
+        return ast.FuncCall(name, (arg,), distinct=distinct)
+
+    def _identifier_or_call(self) -> ast.Node:
+        name = self.advance().value
+        if self.accept("op", "("):
+            args: List[ast.Node] = []
+            if not self.current.matches("op", ")"):
+                args.append(self._expr())
+                while self.accept("op", ","):
+                    args.append(self._expr())
+            self.expect("op", ")")
+            return ast.FuncCall(name.lower(), tuple(args))
+        parts = [name]
+        while self.accept("op", "."):
+            parts.append((self.accept("ident") or self.expect("keyword")).value)
+        return ast.Identifier(tuple(parts))
+
+    def _case_expr(self) -> ast.Node:
+        branches: List[Tuple[ast.Node, ast.Node]] = []
+        while self.accept_keyword("when"):
+            condition = self._expr()
+            self.expect("keyword", "then")
+            branches.append((condition, self._expr()))
+        default = self._expr() if self.accept_keyword("else") else None
+        self.expect("keyword", "end")
+        return ast.CaseExpr(tuple(branches), default)
+
+
+def parse(text: str) -> ast.SelectStmt:
+    """Parse one SELECT statement."""
+    return Parser(text).parse_query()

@@ -1,0 +1,63 @@
+"""Bloom filter over key paths (Section 4.4).
+
+Each tile header stores the key paths that were *not* extracted in a
+bloom filter, so a scan can decide whether a tile may contain a path at
+all (tile skipping, Section 4.8) without storing the unbounded key set.
+Uses the double-hashing scheme of Kirsch & Mitzenmacher [35]: k hash
+functions derived from two independent 32-bit halves of one 64-bit
+hash.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.stats.hyperloglog import hash64
+
+
+class BloomFilter:
+    """A fixed-size bloom filter keyed by strings (key path text)."""
+
+    __slots__ = ("num_bits", "num_hashes", "bits")
+
+    def __init__(self, expected_items: int = 64, bits_per_item: int = 10):
+        self.num_bits = max(64, expected_items * bits_per_item)
+        self.num_hashes = max(1, round(bits_per_item * math.log(2)))
+        self.bits = np.zeros((self.num_bits + 7) // 8, dtype=np.uint8)
+
+    def _positions(self, item: str) -> Iterable[int]:
+        hashed = hash64(item)
+        h1 = hashed & 0xFFFFFFFF
+        h2 = (hashed >> 32) | 1  # odd so the stride cycles
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, item: str) -> None:
+        for position in self._positions(item):
+            self.bits[position >> 3] |= 1 << (position & 7)
+
+    def __contains__(self, item: str) -> bool:
+        return all(
+            self.bits[position >> 3] & (1 << (position & 7))
+            for position in self._positions(item)
+        )
+
+    def might_contain(self, item: str) -> bool:
+        """Alias that reads well at call sites: bloom filters can return
+        false positives but never false negatives."""
+        return item in self
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits; useful to detect saturated filters."""
+        return float(np.unpackbits(self.bits).sum()) / self.num_bits
+
+    def merge(self, other: "BloomFilter") -> None:
+        if other.num_bits != self.num_bits or other.num_hashes != self.num_hashes:
+            raise ValueError("cannot merge differently-shaped bloom filters")
+        np.bitwise_or(self.bits, other.bits, out=self.bits)
+
+    def size_bytes(self) -> int:
+        return len(self.bits)

@@ -1,0 +1,83 @@
+"""Relation-wide frequency counters for key paths (Section 4.6).
+
+A fixed number of slots (the paper suggests 256) tracks how many tuples
+of the relation contain each key path.  Slots are updated from each new
+tile's key-path database; when all slots are taken, replacement prefers
+slots that were least recently touched and have the lowest counts, so
+"new values can overwrite existing ones, however, the most frequent
+ones are always stored".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+
+class FrequencyCounters:
+    """Bounded map: key-path text -> (count, last tile number)."""
+
+    __slots__ = ("capacity", "_slots")
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._slots: Dict[str, Tuple[int, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._slots
+
+    def update_from_tile(self, tile_number: int, key_counts: Dict[str, int]) -> None:
+        """Fold one tile's key-path frequency database into the
+        relation-wide counters."""
+        for key, count in key_counts.items():
+            existing = self._slots.get(key)
+            if existing is not None:
+                self._slots[key] = (existing[0] + count, tile_number)
+            elif len(self._slots) < self.capacity:
+                self._slots[key] = (count, tile_number)
+            else:
+                self._replace(key, count, tile_number)
+
+    def _replace(self, key: str, count: int, tile_number: int) -> None:
+        # Victim: the stalest slot; among equally stale ones the least
+        # frequent.  Only evict when the incoming count would actually
+        # rank above the victim, so hot keys are never displaced by
+        # one-off keys.
+        victim_key, (victim_count, victim_tile) = min(
+            self._slots.items(), key=lambda item: (item[1][1], item[1][0])
+        )
+        if tile_number > victim_tile or count > victim_count:
+            del self._slots[victim_key]
+            self._slots[key] = (count, tile_number)
+
+    def count(self, key: str) -> Optional[int]:
+        """Exact-slot count, or ``None`` if the key has no slot."""
+        entry = self._slots.get(key)
+        return entry[0] if entry is not None else None
+
+    def estimate(self, key: str) -> int:
+        """Cardinality estimate for a key path.
+
+        When the key has no counter, the smallest retained counter is
+        the best stand-in: a missing key behaves most similarly to the
+        least frequent key we still track (Section 4.6).
+        """
+        entry = self._slots.get(key)
+        if entry is not None:
+            return entry[0]
+        if not self._slots:
+            return 0
+        return min(count for count, _ in self._slots.values())
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        for key, (count, _) in self._slots.items():
+            yield key, count
+
+    def top(self, limit: int = 10) -> list:
+        """The most frequent tracked key paths."""
+        ranked = sorted(self._slots.items(), key=lambda item: -item[1][0])
+        return [(key, count) for key, (count, _) in ranked[:limit]]

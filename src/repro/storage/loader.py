@@ -1,0 +1,260 @@
+"""Bulk loading (Sections 3.2, 6.8).
+
+The loader turns a stream of documents (parsed dicts or JSON text
+lines) into a :class:`~repro.storage.relation.Relation`:
+
+1. *parse* the text (when text is given),
+2. *write JSONB* — encode every document into the binary fallback,
+3. *reorder* each partition of ``partition_size`` tiles (TILES only),
+4. *mine + extract* tiles (TILES/SINEW) and collect statistics,
+5. for TILES_STAR, detect high-cardinality arrays and load them into
+   child relations first.
+
+Each phase is timed into ``relation.load_breakdown`` (Figure 16).
+Partitions are disjoint, so ``num_workers > 1`` builds them in parallel
+worker processes (Figure 17's parallel loading).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.jsonpath import KeyPath
+from repro.jsonb import encode as jsonb_encode
+from repro.mining.dictionary import encode_documents, subset_dictionary
+from repro.storage.formats import StorageFormat
+from repro.storage.relation import Relation
+from repro.tiles.arrays import (
+    detect_high_cardinality_arrays,
+    extract_array_documents,
+    strip_extracted_arrays,
+)
+from repro.tiles.extractor import (
+    ExtractionConfig,
+    TileSchema,
+    build_tile,
+    choose_schema,
+)
+from repro.tiles.reorder import apply_order, reorder_transactions
+from repro.tiles.tile import Tile
+
+DocumentInput = Union[str, dict, list]
+
+
+def _parse_documents(rows: Sequence[DocumentInput],
+                     timings: Dict[str, float]) -> List[object]:
+    started = time.perf_counter()
+    documents = [json.loads(row) if isinstance(row, str) else row
+                 for row in rows]
+    timings["parse"] = timings.get("parse", 0.0) + time.perf_counter() - started
+    return documents
+
+
+def _encode_jsonb(documents: Sequence[object],
+                  timings: Dict[str, float]) -> List[bytes]:
+    started = time.perf_counter()
+    encoded = [jsonb_encode(document) for document in documents]
+    timings["write_jsonb"] = (timings.get("write_jsonb", 0.0)
+                              + time.perf_counter() - started)
+    return encoded
+
+
+def _sinew_schema(documents: Sequence[object],
+                  config: ExtractionConfig) -> TileSchema:
+    """Sinew's global schema: keys above the table-wide 60 % frequency
+    cutoff [57].  Computed from a single-threaded pass over all key
+    paths, which is exactly why Sinew's loading is slower (Figure 17)."""
+    dictionary, _transactions = encode_documents(
+        documents, config.max_array_elements
+    )
+    return choose_schema(dictionary, len(documents), config)
+
+
+def _build_partition(args: Tuple) -> Tuple[List[Tile], Dict[str, float]]:
+    """Build all tiles of one partition (worker-process entry point).
+
+    The partition's key paths are collected exactly once: the encoded
+    transactions drive both the reordering and the per-tile extraction.
+    """
+    (documents, jsonb_rows, config, first_tile_number, first_row,
+     storage_format, schema, detach_rows) = args
+    timings: Dict[str, float] = {}
+    order = list(range(len(documents)))
+    extract = storage_format.extracts_columns
+    dictionary = None
+    transactions = None
+    if extract:
+        started = time.perf_counter()
+        dictionary, transactions = encode_documents(
+            documents, config.max_array_elements)
+        timings["mining"] = time.perf_counter() - started
+    if storage_format in (StorageFormat.TILES, StorageFormat.TILES_STAR) \
+            and config.enable_reordering:
+        started = time.perf_counter()
+        order = reorder_transactions(transactions, config)
+        documents = apply_order(documents, order)
+        jsonb_rows = apply_order(jsonb_rows, order)
+        transactions = apply_order(transactions, order)
+        timings["reorder"] = time.perf_counter() - started
+    tiles = []
+    tile_size = config.tile_size
+    for offset in range(0, len(documents), tile_size):
+        chunk = documents[offset : offset + tile_size]
+        chunk_rows = jsonb_rows[offset : offset + tile_size]
+        tile_number = first_tile_number + offset // tile_size
+        encoded = None
+        if extract:
+            started = time.perf_counter()
+            encoded = subset_dictionary(
+                dictionary, transactions[offset : offset + tile_size])
+            timings["mining"] = (timings.get("mining", 0.0)
+                                 + time.perf_counter() - started)
+        tiles.append(
+            build_tile(chunk, chunk_rows, config, tile_number,
+                       first_row + offset,
+                       schema=schema if extract and schema else None,
+                       mine=extract, timings=timings, encoded=encoded)
+        )
+    if detach_rows:
+        # the parent already holds the JSONB rows; do not pickle them
+        # back through the process boundary (it would dominate the
+        # parallel-loading cost) — the parent reattaches them by order
+        for tile in tiles:
+            tile.jsonb_rows = []
+    return tiles, timings, order
+
+
+# partitions handed to forked workers by index (fork shares the parent
+# address space, so the documents are not pickled per job)
+_WORKER_JOBS: List[Tuple] = []
+
+
+def _build_partition_by_index(index: int):
+    return _build_partition(_WORKER_JOBS[index])
+
+
+def _run_jobs_parallel(jobs: List[Tuple], num_workers: int):
+    import multiprocessing
+
+    global _WORKER_JOBS
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = multiprocessing.get_context()
+        with context.Pool(num_workers) as pool:
+            return pool.map(_build_partition, jobs)
+    _WORKER_JOBS = jobs
+    try:
+        with context.Pool(num_workers) as pool:
+            return pool.map(_build_partition_by_index, range(len(jobs)))
+    finally:
+        _WORKER_JOBS = []
+
+
+def load_documents(
+    name: str,
+    rows: Sequence[DocumentInput],
+    storage_format: StorageFormat = StorageFormat.TILES,
+    config: Optional[ExtractionConfig] = None,
+    array_paths: Optional[Sequence[KeyPath]] = None,
+    auto_detect_arrays: bool = False,
+    num_workers: int = 1,
+) -> Relation:
+    """Bulk-load *rows* (JSON text lines or parsed documents) into a new
+    relation stored in *storage_format*.
+
+    ``array_paths`` explicitly lists high-cardinality arrays for
+    TILES_STAR; ``auto_detect_arrays`` detects them instead.
+    """
+    config = config or ExtractionConfig()
+    relation = Relation(name, storage_format, config)
+    timings: Dict[str, float] = {}
+    total_start = time.perf_counter()
+
+    documents = _parse_documents(rows, timings)
+
+    if storage_format == StorageFormat.JSON:
+        relation.text_rows = [
+            row if isinstance(row, str) else json.dumps(row) for row in rows
+        ]
+        relation.load_breakdown = timings
+        relation.load_breakdown["total"] = time.perf_counter() - total_start
+        return relation
+
+    # Tiles-*: pull high-cardinality arrays into child relations first
+    if storage_format == StorageFormat.TILES_STAR:
+        paths = list(array_paths or [])
+        if auto_detect_arrays and not paths:
+            paths = [d.path for d in detect_high_cardinality_arrays(documents)]
+        relation.array_paths = paths
+        for path in paths:
+            children = extract_array_documents(documents, path)
+            child = load_documents(
+                f"{name}.{path}", children, StorageFormat.TILES, config,
+                num_workers=num_workers,
+            )
+            relation.children[str(path)] = child
+        if paths:
+            documents = [strip_extracted_arrays(doc, paths)
+                         for doc in documents]
+
+    jsonb_rows = _encode_jsonb(documents, timings)
+
+    schema: Optional[TileSchema] = None
+    if storage_format == StorageFormat.SINEW:
+        started = time.perf_counter()
+        schema = _sinew_schema(documents, config)
+        timings["mining"] = (timings.get("mining", 0.0)
+                             + time.perf_counter() - started)
+
+    partition_rows = config.tile_size * config.partition_size
+    parallel = num_workers > 1 and len(documents) > partition_rows
+    jobs = []
+    starts = list(range(0, len(documents), partition_rows))
+    for start in starts:
+        jobs.append((
+            documents[start : start + partition_rows],
+            jsonb_rows[start : start + partition_rows],
+            config,
+            start // config.tile_size,
+            start,
+            storage_format,
+            schema,
+            parallel,
+        ))
+
+    if parallel:
+        results = _run_jobs_parallel(jobs, num_workers)
+    else:
+        results = [_build_partition(job) for job in jobs]
+
+    for start, (tiles, job_timings, order) in zip(starts, results):
+        if parallel:
+            partition_jsonb = jsonb_rows[start : start + partition_rows]
+            reordered = apply_order(partition_jsonb, order)
+            offset = 0
+            for tile in tiles:
+                tile.jsonb_rows = reordered[
+                    offset : offset + tile.header.row_count]
+                offset += tile.header.row_count
+        relation.tiles.extend(tiles)
+        for phase, seconds in job_timings.items():
+            timings[phase] = timings.get(phase, 0.0) + seconds
+    for tile in relation.tiles:
+        relation.statistics.absorb_tile(tile.header.tile_number,
+                                        tile.header.statistics)
+    relation.load_breakdown = timings
+    relation.load_breakdown["total"] = time.perf_counter() - total_start
+    return relation
+
+
+def load_json_lines(
+    name: str,
+    lines: Iterable[str],
+    storage_format: StorageFormat = StorageFormat.TILES,
+    **kwargs,
+) -> Relation:
+    """Convenience wrapper over :func:`load_documents` for ndjson."""
+    return load_documents(name, list(lines), storage_format, **kwargs)

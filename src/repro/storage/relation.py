@@ -1,0 +1,241 @@
+"""Relations: tables of tiles + fallback documents, with updates.
+
+A relation holds its tuples as a list of tiles.  Depending on the
+storage format a tile carries extracted columns (SINEW / TILES /
+TILES_STAR) or is a plain chunk of binary documents (JSONB).  The raw
+JSON text format keeps the original strings instead and re-parses on
+access.
+
+Updates (Section 4.7) patch extracted column values in place, register
+new key paths in the tile's bloom filter, and trigger a tile
+recomputation once the majority of its tuples no longer match the
+extracted schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.jsonpath import KeyPath, collect_key_paths
+from repro.errors import StorageError
+from repro.jsonb import decode as jsonb_decode
+from repro.jsonb import encode as jsonb_encode
+from repro.stats.table_stats import TableStatistics
+from repro.storage.formats import StorageFormat
+from repro.tiles.extractor import ExtractionConfig, build_tile
+from repro.tiles.extractor import _materialize_value  # shared coercion
+from repro.tiles.tile import Tile
+
+
+class Relation:
+    """A named table stored in one of the five formats."""
+
+    def __init__(self, name: str, storage_format: StorageFormat,
+                 config: Optional[ExtractionConfig] = None):
+        self.name = name
+        self.format = storage_format
+        self.config = config or ExtractionConfig()
+        self.tiles: List[Tile] = []
+        self.text_rows: Optional[List[str]] = [] \
+            if storage_format == StorageFormat.JSON else None
+        self.statistics = TableStatistics()
+        #: Tiles-* child relations keyed by array path text.
+        self.children: Dict[str, "Relation"] = {}
+        self.array_paths: List[KeyPath] = []
+        #: seconds per load phase (parse / write_jsonb / mining /
+        #: extract / reorder), filled by the loader (Figure 16).
+        self.load_breakdown: Dict[str, float] = {}
+        self._outlier_counts: Dict[int, int] = {}
+        #: documents inserted since the last tile was sealed
+        #: (Section 3.2: "a new tile is created whenever the number of
+        #: newly-inserted tuples reaches the tile size")
+        self._insert_buffer: List[object] = []
+
+    # ------------------------------------------------------------------
+    # shape
+
+    @property
+    def row_count(self) -> int:
+        if self.text_rows is not None:
+            return len(self.text_rows)
+        return sum(tile.row_count for tile in self.tiles)
+
+    # ------------------------------------------------------------------
+    # incremental inserts (Section 3.2 / 4.7)
+
+    def insert(self, document: object) -> None:
+        """Append one document.
+
+        Documents accumulate in an insert buffer; once ``tile_size``
+        tuples arrived, the buffer is sealed into a new tile (with
+        mining/extraction for extracting formats).  Call
+        :meth:`flush_inserts` to seal a partial buffer — e.g. before a
+        scan that must observe the fresh tuples.
+        """
+        if self.text_rows is not None:
+            self.text_rows.append(json.dumps(document)
+                                  if not isinstance(document, str)
+                                  else document)
+            return
+        self._insert_buffer.append(
+            json.loads(document) if isinstance(document, str) else document)
+        if len(self._insert_buffer) >= self.config.tile_size:
+            self.flush_inserts()
+
+    def insert_many(self, documents) -> None:
+        for document in documents:
+            self.insert(document)
+
+    def flush_inserts(self) -> None:
+        """Seal the insert buffer into a new tile (no-op when empty).
+
+        The new tile is only appended once fully built, mirroring the
+        paper's visibility rule ("the tile is visible to scanners only
+        once it is fully created").
+        """
+        if not self._insert_buffer or self.text_rows is not None:
+            return
+        documents = self._insert_buffer
+        self._insert_buffer = []
+        jsonb_rows = [jsonb_encode(document) for document in documents]
+        tile_number = (self.tiles[-1].header.tile_number + 1
+                       if self.tiles else 0)
+        first_row = self.row_count
+        tile = build_tile(documents, jsonb_rows, self.config, tile_number,
+                          first_row, mine=self.format.extracts_columns)
+        self.tiles.append(tile)
+        self.statistics.absorb_tile(tile_number, tile.header.statistics)
+
+    @property
+    def pending_inserts(self) -> int:
+        return len(self._insert_buffer)
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def tile_of_row(self, row_id: int) -> Tile:
+        for tile in self.tiles:
+            if tile.first_row <= row_id < tile.first_row + tile.row_count:
+                return tile
+        raise StorageError(f"row {row_id} out of range in {self.name}")
+
+    # ------------------------------------------------------------------
+    # row access (point lookups; scans go through the engine)
+
+    def document(self, row_id: int) -> object:
+        """Materialize the document stored at *row_id*."""
+        if self.text_rows is not None:
+            return json.loads(self.text_rows[row_id])
+        tile = self.tile_of_row(row_id)
+        return jsonb_decode(tile.jsonb_rows[row_id - tile.first_row])
+
+    def documents(self) -> Iterator[object]:
+        for row_id in range(self.row_count):
+            yield self.document(row_id)
+
+    # ------------------------------------------------------------------
+    # updates (Section 4.7)
+
+    def update(self, row_id: int, new_document: object) -> None:
+        """Replace the document at *row_id*, patching extracted columns
+        in place and keeping skipping metadata correct."""
+        if self.text_rows is not None:
+            self.text_rows[row_id] = json.dumps(new_document)
+            return
+        tile = self.tile_of_row(row_id)
+        local = row_id - tile.first_row
+        tile.jsonb_rows[local] = jsonb_encode(new_document)
+        if not self.format.extracts_columns:
+            return
+
+        overlapping = 0
+        for path, vector in tile.columns.items():
+            meta = tile.header.columns[path]
+            raw = path.lookup(new_document)
+            value = _materialize_value(raw, meta)
+            if value is None:
+                # absent key or type outlier: NULL marks "consult JSONB"
+                vector.null_mask[local] = True
+                meta.nullable = True
+                if raw is not None:
+                    meta.has_type_conflicts = True
+            else:
+                vector.null_mask[local] = False
+                vector.data[local] = value
+                overlapping += 1
+                # widen the tile's zone map / sketch; bounds may only
+                # grow (stale-wide bounds are safe for pruning)
+                tile.header.statistics.column(path).observe(value)
+
+        # every access path of the new document must be visible to
+        # skipping, otherwise changed tiles could be skipped incorrectly
+        for path, _jtype in collect_key_paths(new_document,
+                                              self.config.max_array_elements):
+            if path not in tile.columns:
+                tile.header.record_unextracted(path)
+
+        if overlapping == 0:
+            # outlier document: no overlap with the extracted keys
+            count = self._outlier_counts.get(tile.header.tile_number, 0) + 1
+            self._outlier_counts[tile.header.tile_number] = count
+            if count > tile.row_count // 2:
+                self.recompute_tile(tile)
+
+    def recompute_tile(self, tile: Tile) -> None:
+        """Re-run extraction for one tile after heavy updates."""
+        documents = [jsonb_decode(row) for row in tile.jsonb_rows]
+        rebuilt = build_tile(documents, tile.jsonb_rows, self.config,
+                             tile.header.tile_number, tile.first_row,
+                             mine=self.format.extracts_columns)
+        index = self.tiles.index(tile)
+        self.tiles[index] = rebuilt
+        self._outlier_counts.pop(tile.header.tile_number, None)
+
+    # ------------------------------------------------------------------
+    # size accounting (Table 6)
+
+    def size_report(self) -> Dict[str, int]:
+        """Bytes per representation: raw JSON text, JSONB, extracted
+        tile columns, and LZ4-compressed tile columns.
+
+        ``tiles`` / ``lz4_tiles`` use the shared-variable-length-region
+        accounting of Umbra (Section 4.7): extracted string columns
+        store offsets, not payload copies.  ``tiles_standalone`` is the
+        fully-materialized alternative for comparison.
+        """
+        from repro.storage.compression import compress
+
+        report = {"json": 0, "jsonb": 0, "tiles": 0, "tiles_standalone": 0,
+                  "lz4_tiles": 0}
+        if self.text_rows is not None:
+            report["json"] = sum(len(row.encode("utf-8")) for row in self.text_rows)
+            return report
+        for tile in self.tiles:
+            report["jsonb"] += tile.jsonb_size_bytes()
+            report["tiles"] += tile.size_bytes(shared_strings=True)
+            report["tiles_standalone"] += tile.size_bytes()
+            for column in tile.columns.values():
+                report["lz4_tiles"] += len(compress(
+                    column.raw_bytes(shared_strings=True)))
+        for child in self.children.values():
+            child_report = child.size_report()
+            for key in report:
+                report[key] += child_report[key]
+        return report
+
+    def extracted_fraction(self) -> float:
+        """Fraction of (tile, frequent path) pairs that got materialized;
+        a robustness metric used by tests and examples."""
+        if not self.tiles:
+            return 0.0
+        extracted = sum(len(tile.columns) for tile in self.tiles)
+        seen = sum(len(tile.header.key_counts) for tile in self.tiles)
+        return extracted / max(1, seen)
+
+    def describe(self) -> str:
+        lines = [f"relation {self.name}: {self.row_count} rows, "
+                 f"format={self.format.value}, tiles={len(self.tiles)}"]
+        for child_name, child in self.children.items():
+            lines.append(f"  child[{child_name}]: {child.row_count} rows")
+        return "\n".join(lines)

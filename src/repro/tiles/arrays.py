@@ -1,0 +1,131 @@
+"""High-cardinality array extraction — the Tiles-* variant (Sections
+3.5 and 6.3).
+
+Arrays whose element count varies widely (e.g. Twitter's ``hashtags``
+and ``user_mentions``) can only have their leading elements
+materialized by plain tile extraction.  Following Deutsch et al. [19]
+and Shanmugasundaram et al. [54], such arrays are extracted into a
+*separate* relation: one child document per array element, carrying its
+parent's row id.  The child relation is stored with JSON tiles again,
+and queries join it back to the base table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.jsonpath import KeyPath
+
+PARENT_COLUMN = "_parent_row"
+INDEX_COLUMN = "_slot"
+
+
+@dataclass
+class ArrayDetection:
+    path: KeyPath
+    presence: float       # fraction of documents containing the array
+    mean_length: float
+    max_length: int
+
+    @property
+    def is_high_cardinality(self) -> bool:
+        return self.max_length > 4 and self.mean_length >= 1.0
+
+
+def detect_high_cardinality_arrays(
+    documents: Sequence[object],
+    min_presence: float = 0.1,
+    sample_limit: int = 4096,
+) -> List[ArrayDetection]:
+    """Scan (a sample of) the documents for array-valued key paths whose
+    element counts vary enough to warrant a child relation."""
+    lengths: Dict[KeyPath, List[int]] = {}
+    step = max(1, len(documents) // sample_limit)
+    sampled = 0
+    for index in range(0, len(documents), step):
+        sampled += 1
+        _walk_arrays(documents[index], KeyPath(), lengths)
+    detections = []
+    for path, observed in lengths.items():
+        presence = len(observed) / max(1, sampled)
+        if presence < min_presence:
+            continue
+        mean_length = sum(observed) / len(observed)
+        detections.append(
+            ArrayDetection(
+                path=path,
+                presence=presence,
+                mean_length=mean_length,
+                max_length=max(observed),
+            )
+        )
+    return sorted(
+        (d for d in detections if d.is_high_cardinality),
+        key=lambda d: -d.mean_length * d.presence,
+    )
+
+
+def _walk_arrays(value: object, prefix: KeyPath,
+                 lengths: Dict[KeyPath, List[int]]) -> None:
+    if isinstance(value, dict):
+        for key, child in value.items():
+            _walk_arrays(child, prefix.child(key), lengths)
+    elif isinstance(value, list):
+        lengths.setdefault(prefix, []).append(len(value))
+        # nested arrays inside object elements are detected as well
+        for element in value[:4]:
+            if isinstance(element, dict):
+                for key, child in element.items():
+                    _walk_arrays(child, prefix.child(0).child(key), lengths)
+
+
+def extract_array_documents(
+    documents: Sequence[object], array_path: KeyPath, first_row: int = 0
+) -> List[dict]:
+    """Flatten one array path into child documents.
+
+    Every element becomes ``{_parent_row, _slot, **element}`` (scalar
+    elements become ``{_parent_row, _slot, "value": element}``), ready
+    to be bulk-loaded into a JSON tiles child relation.
+    """
+    children: List[dict] = []
+    for offset, document in enumerate(documents):
+        array = array_path.lookup(document)
+        if not isinstance(array, list):
+            continue
+        for slot, element in enumerate(array):
+            child = {
+                PARENT_COLUMN: first_row + offset,
+                INDEX_COLUMN: slot,
+            }
+            if isinstance(element, dict):
+                child.update(element)
+            else:
+                child["value"] = element
+            children.append(child)
+    return children
+
+
+def strip_extracted_arrays(
+    document: object, array_paths: Sequence[KeyPath]
+) -> object:
+    """Return a copy of *document* with the extracted arrays replaced by
+    their element count, so the base relation does not double-store the
+    (potentially large) array payload."""
+    if not array_paths:
+        return document
+
+    def _strip(value: object, prefix: Tuple) -> object:
+        if isinstance(value, dict):
+            result = {}
+            for key, child in value.items():
+                path = prefix + (key,)
+                if any(path == p.steps for p in array_paths) and isinstance(child, list):
+                    result[key + "_count"] = len(child)
+                else:
+                    result[key] = _strip(child, path)
+            return result
+        return value
+
+    return _strip(document, ())

@@ -1,0 +1,266 @@
+"""Tile extraction: local schema detection and column materialization
+(Sections 3.1, 3.4, 3.5 and 4.9).
+
+For every chunk of ``tile_size`` tuples the extractor
+
+1. collects the typed key paths of each tuple,
+2. mines frequent itemsets with FPGrowth above the extraction
+   threshold (60 % by default),
+3. extracts the union of the maximum itemsets — equivalently, every
+   (path, type) item whose frequency reaches the threshold — as typed
+   relational columns, choosing the most common primitive type when a
+   path occurs with several types,
+4. recognizes date/time strings and materializes them as TIMESTAMP
+   columns, and
+5. fills the tile header: statistics, key-path frequency database and
+   the bloom filter of non-extracted paths.
+
+Values that do not match the extracted type stay NULL in the column and
+remain reachable through the per-tuple JSONB fallback, preserving JSON
+semantics for outliers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.datetimes import parse_datetime_string
+from repro.core.jsonpath import KeyPath
+from repro.core.types import COLUMN_TYPE_FOR_JSON, ColumnType, JsonType
+from repro.mining.dictionary import ItemDictionary, encode_documents
+from repro.mining.fpgrowth import FPGrowth
+from repro.storage.column import ColumnBuilder
+from repro.tiles.header import ExtractedColumn, TileHeader
+from repro.tiles.tile import Tile
+
+
+@dataclass
+class ExtractionConfig:
+    """Knobs of the extraction pipeline; defaults follow Section 6
+    ("we use the tile size 2^10, partition size 8, and extraction
+    threshold 60%")."""
+
+    tile_size: int = 1024
+    partition_size: int = 8
+    threshold: float = 0.6
+    mining_budget: int = 4096
+    max_array_elements: int = 8
+    detect_dates: bool = True
+    date_sample_size: int = 64
+    date_match_fraction: float = 0.95
+    enable_reordering: bool = True
+    #: statistics precision of the per-column HyperLogLog sketches
+    sketch_precision: int = 9
+
+    def min_count(self, num_rows: int) -> int:
+        return max(1, math.ceil(self.threshold * num_rows))
+
+
+#: Primitive types that can become a column of their own.
+_EXTRACTABLE = (JsonType.BOOL, JsonType.INT, JsonType.FLOAT,
+                JsonType.STRING, JsonType.NUMSTR)
+
+
+@dataclass
+class TileSchema:
+    """The extraction decision for one tile (or, for Sinew, globally)."""
+
+    columns: List[ExtractedColumn] = field(default_factory=list)
+
+    def paths(self) -> List[KeyPath]:
+        return [column.path for column in self.columns]
+
+
+def choose_schema(dictionary: ItemDictionary, num_rows: int,
+                  config: ExtractionConfig,
+                  frequent_items: Optional[set] = None) -> TileSchema:
+    """Decide which typed key paths become columns.
+
+    ``frequent_items`` is the union of the mined maximum itemsets; when
+    omitted, item frequencies from the dictionary are used directly
+    (the union of all frequent itemsets equals the set of frequent
+    single items by downward closure).
+    """
+    min_count = config.min_count(num_rows)
+    candidates: Dict[KeyPath, List[Tuple[JsonType, int]]] = {}
+    conflict_paths: Dict[KeyPath, int] = {}
+    for (path, jtype), item_id in dictionary.items():
+        count = dictionary.counts[item_id]
+        conflict_paths[path] = conflict_paths.get(path, 0) + count
+        if jtype not in _EXTRACTABLE:
+            continue
+        if frequent_items is not None and item_id not in frequent_items:
+            continue
+        if count < min_count:
+            continue
+        candidates.setdefault(path, []).append((jtype, count))
+
+    schema = TileSchema()
+    for path, typed_counts in candidates.items():
+        # Section 3.4: the most common type wins; other types fall back
+        # to the binary representation.
+        typed_counts.sort(key=lambda entry: (-entry[1], entry[0]))
+        jtype, count = typed_counts[0]
+        has_conflicts = conflict_paths[path] > count
+        schema.columns.append(
+            ExtractedColumn(
+                path=path,
+                json_type=jtype,
+                column_type=COLUMN_TYPE_FOR_JSON[jtype],
+                has_type_conflicts=has_conflicts,
+                nullable=count < num_rows or has_conflicts,
+            )
+        )
+    schema.columns.sort(key=lambda column: str(column.path))
+    return schema
+
+
+def _detect_datetime_columns(schema: TileSchema, documents: Sequence[object],
+                             config: ExtractionConfig) -> None:
+    """Section 4.9: sample candidate STRING columns; when (almost) every
+    sampled value parses as a date/time, store the column as TIMESTAMP."""
+    for column in schema.columns:
+        if column.column_type != ColumnType.STRING:
+            continue
+        sampled = 0
+        matched = 0
+        step = max(1, len(documents) // config.date_sample_size)
+        for row in range(0, len(documents), step):
+            value = column.path.lookup(documents[row])
+            if not isinstance(value, str):
+                continue
+            sampled += 1
+            if parse_datetime_string(value) is not None:
+                matched += 1
+            if sampled >= config.date_sample_size:
+                break
+        if sampled and matched / sampled >= config.date_match_fraction:
+            column.column_type = ColumnType.TIMESTAMP
+            column.is_datetime = True
+
+
+def _materialize_value(value: object, column: ExtractedColumn) -> object:
+    """Coerce a document value into the column type, or ``None`` when the
+    primitive type does not match (the JSONB fallback keeps it)."""
+    if value is None:
+        return None
+    ctype = column.column_type
+    if ctype == ColumnType.INT64:
+        return value if isinstance(value, int) and not isinstance(value, bool) else None
+    if ctype == ColumnType.FLOAT64:
+        if isinstance(value, float):
+            return value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return float(value)  # lossless widening, not a conflict
+        return None
+    if ctype == ColumnType.BOOL:
+        return value if isinstance(value, bool) else None
+    if ctype == ColumnType.STRING:
+        return value if isinstance(value, str) else None
+    if ctype == ColumnType.DECIMAL:
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                return None
+        return None
+    if ctype == ColumnType.TIMESTAMP:
+        if isinstance(value, str):
+            return parse_datetime_string(value)
+        return None
+    raise AssertionError(f"unexpected column type {ctype}")
+
+
+def build_tile(documents: Sequence[object], jsonb_rows: List[bytes],
+               config: ExtractionConfig, tile_number: int, first_row: int,
+               schema: Optional[TileSchema] = None,
+               mine: bool = True,
+               timings: Optional[Dict[str, float]] = None,
+               encoded: Optional[Tuple[ItemDictionary, List[List[int]]]] = None,
+               ) -> Tile:
+    """Construct one tile from parsed documents + their JSONB bytes.
+
+    When *schema* is given (Sinew's global schema, or a recomputation
+    after updates) the mining/decision steps are skipped and the fixed
+    schema is materialized.  ``mine=False`` additionally skips FPGrowth
+    (plain JSONB storage: no extraction, header only tracks row count).
+    *timings* accumulates per-phase seconds ("mining", "extract") for
+    the insertion-time breakdown of Figure 16.  *encoded* passes a
+    pre-computed (dictionary, transactions) pair so the loader does not
+    traverse every document twice when reordering already collected the
+    key paths.
+    """
+    num_rows = len(documents)
+    header = TileHeader(tile_number, num_rows,
+                        max_array_elements=config.max_array_elements)
+    started = time.perf_counter()
+    if encoded is not None:
+        dictionary, transactions = encoded
+    else:
+        dictionary, transactions = encode_documents(
+            documents, config.max_array_elements)
+    header.key_counts = dictionary.key_counts()
+    for path_text, count in header.key_counts.items():
+        header.statistics.observe_key(path_text, count)
+
+    if schema is None and mine:
+        miner = FPGrowth(config.min_count(num_rows), config.mining_budget)
+        frequent = miner.mine(transactions)
+        frequent_items = set().union(*frequent) if frequent else set()
+        schema = choose_schema(dictionary, num_rows, config,
+                               frequent_items=frequent_items)
+        if config.detect_dates:
+            _detect_datetime_columns(schema, documents, config)
+    elif schema is None:
+        schema = TileSchema()
+    mined_at = time.perf_counter()
+    if timings is not None:
+        timings["mining"] = timings.get("mining", 0.0) + (mined_at - started)
+
+    columns = {}
+    for column_meta in schema.columns:
+        builder = ColumnBuilder(column_meta.column_type)
+        stats = header.statistics.column(column_meta.path)
+        nullable = False
+        conflicts = column_meta.has_type_conflicts
+        for document in documents:
+            raw = column_meta.path.lookup(document)
+            value = _materialize_value(raw, column_meta)
+            if value is None:
+                nullable = True
+                if raw is not None:
+                    conflicts = True
+                builder.append_null()
+            else:
+                builder.append(value)
+                stats.observe(value)
+        materialized = ExtractedColumn(
+            path=column_meta.path,
+            json_type=column_meta.json_type,
+            column_type=column_meta.column_type,
+            has_type_conflicts=conflicts,
+            nullable=nullable,
+            is_datetime=column_meta.is_datetime,
+        )
+        header.add_column(materialized)
+        vector = builder.finish()
+        columns[column_meta.path] = vector
+        if column_meta.column_type in (ColumnType.INT64, ColumnType.FLOAT64,
+                                       ColumnType.DECIMAL,
+                                       ColumnType.TIMESTAMP):
+            from repro.stats.histogram import EquiDepthHistogram
+
+            values = vector.data[~vector.null_mask]
+            stats.histogram = EquiDepthHistogram.from_values(values)
+
+    for (path, _jtype), _item_id in dictionary.items():
+        if path not in columns:
+            header.record_unextracted(path)
+    if timings is not None:
+        timings["extract"] = timings.get("extract", 0.0) + (
+            time.perf_counter() - mined_at
+        )
+    return Tile(header, columns, list(jsonb_rows), first_row)

@@ -1,0 +1,134 @@
+"""Tile headers (Section 4.4).
+
+Each tile describes its *seen* and *materialized* data: the extracted
+key paths with their value types, whether a path also occurs with other
+types (the type-conflict flag needed for correct fallback accesses),
+whether nulls are possible, the key-path frequency database that seeded
+itemset mining, and a bloom filter over the paths that were *not*
+extracted (used by tile skipping, Section 4.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.jsonpath import KeyPath
+from repro.core.types import ColumnType, JsonType
+from repro.stats.bloom import BloomFilter
+from repro.stats.table_stats import TileStatistics
+
+
+@dataclass
+class ExtractedColumn:
+    """Metadata of one materialized key path."""
+
+    path: KeyPath
+    json_type: JsonType
+    column_type: ColumnType
+    #: True when the same path occurs with a different primitive type in
+    #: this tile; accesses must re-check the JSONB fallback on NULL
+    #: (Section 3.4).
+    has_type_conflicts: bool = False
+    #: True when some tuple lacks the path or stores JSON null.
+    nullable: bool = True
+    #: True when a STRING path was recognized and stored as TIMESTAMP
+    #: (Section 4.9); text accesses then bypass the column.
+    is_datetime: bool = False
+
+
+class TileHeader:
+    """Per-tile schema + key statistics, pointed to by the relation."""
+
+    def __init__(self, tile_number: int, row_count: int,
+                 max_array_elements: int = 8):
+        self.tile_number = tile_number
+        self.row_count = row_count
+        self.max_array_elements = max_array_elements
+        self.columns: Dict[KeyPath, ExtractedColumn] = {}
+        self.key_counts: Dict[str, int] = {}
+        self.unextracted_paths = BloomFilter(expected_items=64)
+        self.statistics = TileStatistics(row_count=row_count)
+
+    def add_column(self, column: ExtractedColumn) -> None:
+        self.columns[column.path] = column
+
+    def extracted(self, path: KeyPath) -> Optional[ExtractedColumn]:
+        return self.columns.get(path)
+
+    def record_unextracted(self, path: KeyPath) -> None:
+        """Make a non-extracted path (and every ancestor container, so
+        accesses to the container itself stay visible) known to the
+        skipping filter."""
+        current = path
+        while True:
+            self.unextracted_paths.add(str(current))
+            if not current.steps:
+                break
+            current = current.parent()
+
+    def column_bounds(self, path: KeyPath):
+        """(min, max) of an extracted column's non-null values, or
+        ``None``.  These per-tile zone maps extend Section 4.8's
+        skipping in the spirit of Data Blocks [36]: a tile whose value
+        range cannot satisfy a pushed-down comparison is skipped even
+        though the key path exists."""
+        stats = self.statistics.columns.get(path)
+        if stats is None or stats.min_value is None:
+            return None
+        column = self.columns.get(path)
+        if column is not None and column.has_type_conflicts:
+            # outliers live in the JSONB fallback and are not covered
+            # by the column bounds: pruning would be unsound
+            return None
+        return stats.min_value, stats.max_value
+
+    def may_contain(self, path: KeyPath) -> bool:
+        """Can any tuple of this tile contain *path*?
+
+        Extracted paths are definitely present; everything else goes
+        through the bloom filter.  A bloom hit may be a false positive
+        (the tile is then scanned needlessly) but a miss is definite, so
+        skipping on a miss is always safe.  Array slots beyond the
+        key-path collection cap were never recorded, so such accesses
+        are answered conservatively from the array's own entry.
+        """
+        if path in self.columns:
+            return True
+        # A prefix of an extracted path is present as a nested object
+        # (e.g. `geo` when `geo.lat` is materialized).
+        for extracted_path in self.columns:
+            if extracted_path.startswith(path):
+                return True
+        if self.unextracted_paths.might_contain(str(path)):
+            return True
+        # slots past the collection cap: trust the deepest recorded
+        # ancestor (the array itself) rather than claiming absence
+        if any(isinstance(step, int) and step >= self.max_array_elements
+               for step in path.steps):
+            current = path
+            while current.steps:
+                current = current.parent()
+                if self.unextracted_paths.might_contain(str(current)) or \
+                        current in self.columns:
+                    return True
+        return False
+
+    def extracted_paths(self) -> List[KeyPath]:
+        return list(self.columns)
+
+    def describe(self) -> str:
+        """Human-readable summary used by examples and debugging."""
+        lines = [f"tile #{self.tile_number}: {self.row_count} rows, "
+                 f"{len(self.columns)} extracted columns"]
+        for column in self.columns.values():
+            flags = []
+            if column.is_datetime:
+                flags.append("datetime")
+            if column.has_type_conflicts:
+                flags.append("type-conflicts")
+            if column.nullable:
+                flags.append("nullable")
+            suffix = f" ({', '.join(flags)})" if flags else ""
+            lines.append(f"  {column.path} :: {column.column_type.name}{suffix}")
+        return "\n".join(lines)

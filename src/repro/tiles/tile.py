@@ -1,0 +1,59 @@
+"""The tile: a chunk of tuples with materialized columns + JSONB rows.
+
+A tile owns its slice of binary JSON documents (the always-correct
+fallback representation) and, when the storage format extracts, one
+:class:`~repro.storage.column.ColumnVector` per materialized key path.
+Scans stream the vectors; accesses to non-extracted paths (or to
+type-conflicting NULL slots) traverse the JSONB bytes per tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.jsonpath import KeyPath
+from repro.jsonb.access import JsonbValue
+from repro.storage.column import ColumnVector
+from repro.tiles.header import TileHeader
+
+
+class Tile:
+    __slots__ = ("header", "columns", "jsonb_rows", "first_row")
+
+    def __init__(self, header: TileHeader, columns: Dict[KeyPath, ColumnVector],
+                 jsonb_rows: List[bytes], first_row: int = 0):
+        self.header = header
+        self.columns = columns
+        self.jsonb_rows = jsonb_rows
+        self.first_row = first_row
+
+    @property
+    def row_count(self) -> int:
+        return len(self.jsonb_rows)
+
+    def column(self, path: KeyPath) -> Optional[ColumnVector]:
+        return self.columns.get(path)
+
+    def jsonb_value(self, row: int) -> JsonbValue:
+        return JsonbValue(self.jsonb_rows[row])
+
+    def lookup_fallback(self, row: int, path: KeyPath) -> Optional[JsonbValue]:
+        """Per-tuple JSONB traversal for a non-extracted path."""
+        return JsonbValue(self.jsonb_rows[row]).get_path(path)
+
+    def row_ids(self) -> np.ndarray:
+        """Global row ids of the tuples in this tile."""
+        return np.arange(self.first_row, self.first_row + self.row_count,
+                         dtype=np.int64)
+
+    def size_bytes(self, shared_strings: bool = False) -> int:
+        """Footprint of the materialized columns (the +Tiles overhead of
+        Table 6; the JSONB rows are accounted separately).  See
+        :meth:`ColumnVector.nbytes` for the shared-strings mode."""
+        return sum(column.nbytes(shared_strings)
+                   for column in self.columns.values())
+
+    def jsonb_size_bytes(self) -> int:
+        return sum(len(row) for row in self.jsonb_rows)

@@ -1,0 +1,11 @@
+"""Workload generators and query sets for the evaluation (Section 6).
+
+* :mod:`repro.workloads.tpch` — JSONized TPC-H (combined / shuffled).
+* :mod:`repro.workloads.yelp` — combined Yelp-like data + 5 queries.
+* :mod:`repro.workloads.twitter` — tweet stream with schema evolution,
+  deletes and high-cardinality arrays + 5 queries (and Tiles-*
+  variants).
+* :mod:`repro.workloads.hackernews` — Figure 3's per-type news items.
+* :mod:`repro.workloads.docs` — synthetic SIMD-JSON-style corpora for
+  the binary-format comparison (Section 6.9).
+"""

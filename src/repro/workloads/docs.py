@@ -1,0 +1,213 @@
+"""Synthetic stand-ins for the SIMD-JSON benchmark files (Section 6.9).
+
+The paper evaluates the binary formats on eight standardized JSON files
+from the SIMD-JSON repository.  Those files are not shippable here, so
+each corpus is regenerated synthetically with the structural character
+that drives the measurements:
+
+==============  =========================================================
+apache_builds   medium-nested build-server objects, many short strings
+canada          GeoJSON: enormous arrays of [lon, lat] float pairs
+gsoc-2018       organization objects, long text fields, shallow nesting
+marine_ik       3D model: deeply nested numeric arrays + matrices
+mesh            flat arrays of vertex indices and coordinates
+numbers         one big array of doubles
+random          randomly shaped objects/arrays/strings, mixed depth
+twitter_api     rich tweet objects (statuses array with users/entities)
+==============  =========================================================
+
+Each generator returns one top-level document; ``access_paths`` yields
+representative deep key paths for the random-access benchmark
+(Figure 20).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from repro.core.jsonpath import KeyPath
+
+
+def apache_builds(seed: int = 3) -> dict:
+    rng = random.Random(seed)
+    builds = []
+    for key in range(120):
+        builds.append({
+            "name": f"build-{key}",
+            "url": f"https://ci.example.org/job/build-{key}/",
+            "color": rng.choice(["blue", "red", "yellow", "disabled"]),
+            "lastBuild": {
+                "number": rng.randint(1, 4000),
+                "duration": rng.randint(1000, 10**6),
+                "result": rng.choice(["SUCCESS", "FAILURE", "UNSTABLE"]),
+                "culprits": [
+                    {"fullName": f"dev{rng.randint(1, 40)}"}
+                    for _ in range(rng.randint(0, 3))
+                ],
+            },
+        })
+    return {"assignedLabels": [{}], "mode": "NORMAL", "jobs": builds}
+
+
+def canada(seed: int = 4) -> dict:
+    rng = random.Random(seed)
+    rings = []
+    for _ in range(12):
+        ring = [[round(rng.uniform(-141.0, -52.0), 6),
+                 round(rng.uniform(41.0, 83.0), 6)]
+                for _ in range(400)]
+        rings.append(ring)
+    return {
+        "type": "FeatureCollection",
+        "features": [{
+            "type": "Feature",
+            "properties": {"name": "Canada"},
+            "geometry": {"type": "Polygon", "coordinates": rings},
+        }],
+    }
+
+
+def gsoc_2018(seed: int = 5) -> dict:
+    rng = random.Random(seed)
+    orgs = {}
+    for key in range(80):
+        orgs[str(key)] = {
+            "@context": "https://schema.org",
+            "@type": "SoftwareSourceCode",
+            "name": f"Organization {key}",
+            "description": " ".join("open source project mentoring "
+                                    "students summer code".split()
+                                    * rng.randint(2, 6)),
+            "license": rng.choice(["Apache-2.0", "MIT", "GPL-3.0"]),
+            "programmingLanguage": [
+                rng.choice(["python", "c++", "rust", "go", "java"])
+                for _ in range(rng.randint(1, 3))
+            ],
+            "author": {"@type": "Person",
+                       "name": f"Mentor {rng.randint(1, 300)}"},
+        }
+    return orgs
+
+
+def marine_ik(seed: int = 6) -> dict:
+    rng = random.Random(seed)
+
+    def matrix():
+        return [round(rng.uniform(-1, 1), 7) for _ in range(16)]
+
+    bones = []
+    for key in range(60):
+        bones.append({
+            "parent": key - 1,
+            "name": f"bone_{key}",
+            "pos": [round(rng.uniform(-5, 5), 5) for _ in range(3)],
+            "rotq": [round(rng.uniform(-1, 1), 6) for _ in range(4)],
+        })
+    return {
+        "metadata": {"version": 4.4, "type": "Object"},
+        "geometries": [{
+            "uuid": "0A8F2988-626F-411C-BD6A-AC656C4E6878",
+            "type": "SkinnedMesh",
+            "data": {
+                "vertices": [round(rng.uniform(-10, 10), 5)
+                             for _ in range(3000)],
+                "normals": [round(rng.uniform(-1, 1), 5)
+                            for _ in range(3000)],
+                "bones": bones,
+                "animations": [{
+                    "name": "swim",
+                    "hierarchy": [{
+                        "keys": [{"time": t / 24.0, "rot": matrix()[:4]}
+                                 for t in range(24)]
+                    } for _ in range(8)],
+                }],
+            },
+        }],
+    }
+
+
+def mesh(seed: int = 7) -> dict:
+    rng = random.Random(seed)
+    return {
+        "batches": [{
+            "indexRange": [0, rng.randint(1000, 5000)],
+            "usedBones": list(range(rng.randint(4, 16))),
+        } for _ in range(24)],
+        "positions": [rng.randint(0, 65535) for _ in range(9000)],
+        "tex0": [round(rng.uniform(0, 1), 6) for _ in range(6000)],
+    }
+
+
+def numbers(seed: int = 8) -> list:
+    rng = random.Random(seed)
+    return [round(rng.uniform(-1000.0, 1000.0), 10) for _ in range(10_000)]
+
+
+def random_doc(seed: int = 9) -> dict:
+    rng = random.Random(seed)
+
+    def value(depth: int):
+        roll = rng.random()
+        if depth >= 4 or roll < 0.35:
+            return rng.choice([
+                rng.randint(-10**6, 10**6),
+                round(rng.uniform(-100, 100), 4),
+                "".join(rng.choice("abcdefghij ") for _ in range(
+                    rng.randint(3, 24))),
+                rng.random() < 0.5,
+                None,
+            ])
+        if roll < 0.65:
+            return [value(depth + 1) for _ in range(rng.randint(1, 6))]
+        return {f"k{index}": value(depth + 1)
+                for index in range(rng.randint(1, 6))}
+
+    return {f"field{index}": value(0) for index in range(200)}
+
+
+def twitter_api(seed: int = 10) -> dict:
+    from repro.workloads.twitter import TwitterGenerator
+
+    generator = TwitterGenerator(num_tweets=150, seed=seed,
+                                 delete_fraction=0.0)
+    return {"statuses": generator.stream(),
+            "search_metadata": {"completed_in": 0.087, "count": 150}}
+
+
+CORPORA: Dict[str, Callable[[], object]] = {
+    "apache": apache_builds,
+    "canada": canada,
+    "gsoc-2018": gsoc_2018,
+    "marine_ik": marine_ik,
+    "mesh": mesh,
+    "numbers": numbers,
+    "random": random_doc,
+    "twitter_api": twitter_api,
+}
+
+#: representative nested access paths per corpus (Figure 20's random
+#: accesses with different nesting levels)
+ACCESS_PATHS: Dict[str, List[KeyPath]] = {
+    "apache": [KeyPath.parse("jobs[5].lastBuild.result"),
+               KeyPath.parse("jobs[40].name"),
+               KeyPath.parse("jobs[99].lastBuild.number")],
+    "canada": [KeyPath.parse("features[0].geometry.coordinates[3][100][1]"),
+               KeyPath.parse("features[0].properties.name")],
+    "gsoc-2018": [KeyPath.parse("17.name"), KeyPath.parse("42.author.name"),
+                  KeyPath.parse("63.license")],
+    "marine_ik": [
+        KeyPath.parse("geometries[0].data.vertices[1500]"),
+        KeyPath.parse("geometries[0].data.bones[30].pos[1]"),
+        KeyPath.parse("geometries[0].data.animations[0].hierarchy[3]"
+                      ".keys[10].time"),
+    ],
+    "mesh": [KeyPath.parse("positions[4000]"),
+             KeyPath.parse("batches[10].indexRange[1]")],
+    "numbers": [KeyPath.parse("[5000]"), KeyPath.parse("[9999]")],
+    "random": [KeyPath.parse("field50"), KeyPath.parse("field100"),
+               KeyPath.parse("field199")],
+    "twitter_api": [KeyPath.parse("statuses[50].user.screen_name"),
+                    KeyPath.parse("statuses[120].text"),
+                    KeyPath.parse("search_metadata.count")],
+}

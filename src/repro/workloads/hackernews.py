@@ -1,0 +1,123 @@
+"""HackerNews-like news items (Figure 3).
+
+Each item type has its own structure — stories carry URLs, polls carry
+descriptors, poll options reference their poll, comments reference a
+parent — and the stream interleaves them, which is exactly the
+low-spatial-locality workload that motivates tuple reordering
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.database import Database
+from repro.storage.formats import StorageFormat
+from repro.tiles.extractor import ExtractionConfig
+
+_TITLES = ("Show HN My Weekend Project", "Why Databases Matter",
+           "The State of JSON", "Ask HN Favorite Paper",
+           "Postmortem of an Outage")
+_TEXTS = ("this is really interesting", "I disagree with the premise",
+          "great write-up thanks", "can you share benchmarks",
+          "we saw the same issue in production")
+
+ITEM_TYPES = ("story", "poll", "pollopt", "comment", "job")
+
+
+def _item(rng: random.Random, key: int, kind: str) -> dict:
+    date = (f"{rng.randint(2015, 2020)}-{rng.randint(1, 12):02d}-"
+            f"{rng.randint(1, 28):02d}")
+    base = {"id": key, "date": date, "type": kind,
+            "by": f"user{rng.randint(1, 500)}"}
+    if kind == "story":
+        base.update({
+            "score": rng.randint(0, 500),
+            "descendants": rng.randint(0, 300),
+            "title": rng.choice(_TITLES),
+            "url": f"https://example.com/{key}",
+        })
+    elif kind == "poll":
+        base.update({
+            "score": rng.randint(0, 200),
+            "descendants": rng.randint(0, 100),
+            "title": rng.choice(_TITLES),
+            "parts": [key * 10 + slot for slot in range(rng.randint(2, 4))],
+        })
+    elif kind == "pollopt":
+        base.update({
+            "score": rng.randint(0, 80),
+            "poll": max(1, key - rng.randint(1, 20)),
+            "title": rng.choice(_TEXTS),
+        })
+    elif kind == "comment":
+        base.update({
+            "parent": max(1, key - rng.randint(1, 50)),
+            "text": rng.choice(_TEXTS),
+            "kids": [key * 10 + slot for slot in range(rng.randint(0, 3))],
+        })
+    else:  # job
+        base.update({
+            "score": rng.randint(0, 50),
+            "title": "Hiring: " + rng.choice(_TITLES),
+            "url": f"https://jobs.example.com/{key}",
+        })
+    return base
+
+
+def generate_items(num_items: int = 2000, seed: int = 5,
+                   weights: Optional[Dict[str, float]] = None) -> List[dict]:
+    """An interleaved item stream; default mix is comment-heavy like the
+    real firehose."""
+    weights = weights or {"story": 0.25, "poll": 0.05, "pollopt": 0.1,
+                          "comment": 0.5, "job": 0.1}
+    rng = random.Random(seed)
+    kinds = list(weights)
+    probabilities = [weights[kind] for kind in kinds]
+    return [
+        _item(rng, key + 1, rng.choices(kinds, probabilities)[0])
+        for key in range(num_items)
+    ]
+
+
+HACKERNEWS_QUERIES: Dict[int, str] = {
+    # top stories by score
+    1: """
+select i.data->>'title' as title, max(i.data->>'score'::int) as score
+from items i
+where i.data->>'type' = 'story'
+group by i.data->>'title'
+order by score desc
+limit 10
+""",
+    # comment counts per parent
+    2: """
+select i.data->>'parent'::int as parent, count(*) as replies
+from items i
+where i.data->>'type' = 'comment'
+group by i.data->>'parent'::int
+order by replies desc, parent
+limit 10
+""",
+    # poll options joined to their polls
+    3: """
+select p.data->>'title' as poll_title, count(*) as options
+from items p, items o
+where o.data->>'type' = 'pollopt'
+  and p.data->>'type' = 'poll'
+  and o.data->>'poll'::int = p.data->>'id'::int
+group by p.data->>'title'
+order by options desc, poll_title
+""",
+}
+
+
+def make_database(num_items: int = 2000,
+                  storage_format: StorageFormat = StorageFormat.TILES,
+                  config: Optional[ExtractionConfig] = None,
+                  seed: int = 5) -> Database:
+    db = Database(storage_format, config)
+    db.load_table("items", generate_items(num_items, seed), storage_format,
+                  config)
+    return db

@@ -1,0 +1,57 @@
+"""JSONized TPC-H: generator + the 22 queries (Sections 6.1, 6.4).
+
+* :func:`generate_tables` / :func:`generate_combined` — deterministic
+  data at reduced scale.
+* :data:`TPCH_QUERIES` — the 22 queries over JSON access operators.
+* :func:`make_database` — a ready :class:`~repro.Database` in split,
+  combined or shuffled-combined mode for any storage format.
+"""
+
+from typing import Optional
+
+from repro.database import Database
+from repro.storage.formats import StorageFormat
+from repro.tiles.extractor import ExtractionConfig
+from repro.workloads.tpch.generator import (
+    TABLE_NAMES,
+    TpchGenerator,
+    generate_combined,
+    generate_tables,
+)
+from repro.workloads.tpch.queries import HIGHLIGHTED_QUERIES, TPCH_QUERIES
+
+__all__ = [
+    "HIGHLIGHTED_QUERIES",
+    "TABLE_NAMES",
+    "TPCH_QUERIES",
+    "TpchGenerator",
+    "generate_combined",
+    "generate_tables",
+    "make_database",
+]
+
+
+def make_database(sf: float = 0.01,
+                  storage_format: StorageFormat = StorageFormat.TILES,
+                  config: Optional[ExtractionConfig] = None,
+                  combined: bool = True,
+                  shuffled: bool = False,
+                  seed: int = 42,
+                  num_workers: int = 1) -> Database:
+    """Load TPC-H and return a queryable database.
+
+    In combined mode (the paper's default) all eight table names map to
+    one physical relation holding every document type.
+    """
+    db = Database(storage_format, config)
+    if combined:
+        documents = generate_combined(sf, seed, shuffled=shuffled)
+        relation = db.load_table("tpch_combined", documents, storage_format,
+                                 config, num_workers=num_workers)
+        for name in TABLE_NAMES:
+            db.register(name, relation)
+    else:
+        for name, rows in generate_tables(sf, seed).items():
+            db.load_table(name, rows, storage_format, config,
+                          num_workers=num_workers)
+    return db

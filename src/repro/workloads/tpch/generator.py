@@ -1,0 +1,329 @@
+"""Deterministic TPC-H-style data generator, JSONized (Section 6.1).
+
+The paper converts TPC-H so that every row of every table becomes a
+JSON object whose keys are the column names, then combines the eight
+tables into a *single* relation to simulate heterogeneous combined-log
+data.  This generator reproduces that setup at reduced scale:
+
+* standard table cardinality ratios (SF 1 = 6M lineitem, 1.5M orders,
+  150k customers, 200k parts, 10k suppliers, 800k partsupp, 25
+  nations, 5 regions) scaled by ``sf``;
+* the value distributions the queries depend on: order/ship/commit/
+  receipt date ranges and relationships, return flags and line
+  statuses derived from dates, brand/type/container vocabularies,
+  market segments, priorities, ship modes, comment text with the
+  Q13/Q16 trigger phrases;
+* dates as ISO strings (exercising date extraction, Section 4.9) and
+  monetary values as numeric strings (exercising Section 5.2).
+
+Everything is seeded, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from typing import Dict, Iterator, List, Sequence
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+                 "TAKE BACK RETURN"]
+TYPE_SYLL_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+CONTAINER_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+    "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+    "green", "grey", "honeydew", "hot", "hotpink", "indian", "ivory",
+]
+_WORDS = (
+    "the quick silver fox carefully packed ironic deposits along regular "
+    "accounts furiously bold pinto beans sleep slyly express theodolites "
+    "wake blithely final platelets haggle quiet requests nag"
+).split()
+
+START_DATE = _dt.date(1992, 1, 1)
+END_DATE = _dt.date(1998, 8, 2)
+_CUTOFF = _dt.date(1995, 6, 17)
+
+#: standard cardinalities at SF 1
+SF1 = {
+    "supplier": 10_000,
+    "part": 200_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+    "partsupp_per_part": 4,
+    "lineitems_per_order": 4,
+}
+
+TABLE_NAMES = ["region", "nation", "supplier", "customer", "part",
+               "partsupp", "orders", "lineitem"]
+
+
+def _money(value: float) -> str:
+    """Monetary values are numeric strings, exercising Section 5.2."""
+    return f"{value:.2f}"
+
+
+def _comment(rng: random.Random, min_words: int = 3,
+             max_words: int = 10) -> str:
+    count = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(_WORDS) for _ in range(count))
+
+
+def _date_between(rng: random.Random, start: _dt.date,
+                  end: _dt.date) -> _dt.date:
+    span = (end - start).days
+    return start + _dt.timedelta(days=rng.randint(0, span))
+
+
+class TpchGenerator:
+    """Generate the eight TPC-H tables as JSON documents."""
+
+    def __init__(self, sf: float = 0.01, seed: int = 42):
+        self.sf = sf
+        self.seed = seed
+        self.num_supplier = max(5, round(SF1["supplier"] * sf))
+        self.num_part = max(20, round(SF1["part"] * sf))
+        self.num_customer = max(15, round(SF1["customer"] * sf))
+        self.num_orders = max(50, round(SF1["orders"] * sf))
+
+    # -- small dimension tables -------------------------------------------
+
+    def region(self) -> List[dict]:
+        rng = random.Random(self.seed + 1)
+        return [
+            {"r_regionkey": key, "r_name": name,
+             "r_comment": _comment(rng)}
+            for key, name in enumerate(REGIONS)
+        ]
+
+    def nation(self) -> List[dict]:
+        rng = random.Random(self.seed + 2)
+        return [
+            {"n_nationkey": key, "n_name": name, "n_regionkey": region,
+             "n_comment": _comment(rng)}
+            for key, (name, region) in enumerate(NATIONS)
+        ]
+
+    def supplier(self) -> List[dict]:
+        rng = random.Random(self.seed + 3)
+        rows = []
+        for key in range(1, self.num_supplier + 1):
+            comment = _comment(rng)
+            roll = rng.random()
+            if roll < 0.005:
+                comment += " Customer Complaints"
+            elif roll < 0.01:
+                comment += " Customer Recommends"
+            rows.append({
+                "s_suppkey": key,
+                "s_name": f"Supplier#{key:09d}",
+                "s_address": _comment(rng, 2, 4),
+                "s_nationkey": rng.randrange(len(NATIONS)),
+                "s_phone": self._phone(rng),
+                "s_acctbal": _money(rng.uniform(-999.99, 9999.99)),
+                "s_comment": comment,
+            })
+        return rows
+
+    def customer(self) -> List[dict]:
+        rng = random.Random(self.seed + 4)
+        rows = []
+        for key in range(1, self.num_customer + 1):
+            nation = rng.randrange(len(NATIONS))
+            rows.append({
+                "c_custkey": key,
+                "c_name": f"Customer#{key:09d}",
+                "c_address": _comment(rng, 2, 4),
+                "c_nationkey": nation,
+                "c_phone": self._phone(rng, nation),
+                "c_acctbal": _money(rng.uniform(-999.99, 9999.99)),
+                "c_mktsegment": rng.choice(SEGMENTS),
+                "c_comment": _comment(rng),
+            })
+        return rows
+
+    def _phone(self, rng: random.Random, nation: int = None) -> str:
+        country = 10 + (nation if nation is not None
+                        else rng.randrange(len(NATIONS)))
+        return (f"{country}-{rng.randint(100, 999)}-"
+                f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}")
+
+    def part(self) -> List[dict]:
+        rng = random.Random(self.seed + 5)
+        rows = []
+        for key in range(1, self.num_part + 1):
+            retail = (90000 + (key % 200001) / 10 + 100 * (key % 1000)) / 100
+            rows.append({
+                "p_partkey": key,
+                "p_name": " ".join(rng.sample(COLORS, 5)),
+                "p_mfgr": f"Manufacturer#{rng.randint(1, 5)}",
+                "p_brand": f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+                "p_type": (f"{rng.choice(TYPE_SYLL_1)} "
+                           f"{rng.choice(TYPE_SYLL_2)} "
+                           f"{rng.choice(TYPE_SYLL_3)}"),
+                "p_size": rng.randint(1, 50),
+                "p_container": (f"{rng.choice(CONTAINER_1)} "
+                                f"{rng.choice(CONTAINER_2)}"),
+                "p_retailprice": _money(retail),
+                "p_comment": _comment(rng, 2, 5),
+            })
+        return rows
+
+    def partsupp(self) -> List[dict]:
+        rng = random.Random(self.seed + 6)
+        rows = []
+        for part in range(1, self.num_part + 1):
+            for slot in range(SF1["partsupp_per_part"]):
+                supp = ((part + slot * (self.num_supplier //
+                                        SF1["partsupp_per_part"] + 1))
+                        % self.num_supplier) + 1
+                rows.append({
+                    "ps_partkey": part,
+                    "ps_suppkey": supp,
+                    "ps_availqty": rng.randint(1, 9999),
+                    "ps_supplycost": _money(rng.uniform(1.0, 1000.0)),
+                    "ps_comment": _comment(rng),
+                })
+        return rows
+
+    def orders(self) -> List[dict]:
+        rng = random.Random(self.seed + 7)
+        rows = []
+        for key in range(1, self.num_orders + 1):
+            orderdate = _date_between(rng, START_DATE,
+                                      END_DATE - _dt.timedelta(days=151))
+            comment = _comment(rng)
+            if rng.random() < 0.01:
+                comment += " special requests"
+            # the TPC-H spec leaves every third customer without orders
+            # (Q13's zero groups, Q22's "no orders" anti join)
+            custkey = rng.randint(1, self.num_customer)
+            while custkey % 3 == 0:
+                custkey = rng.randint(1, self.num_customer)
+            rows.append({
+                "o_orderkey": key,
+                "o_custkey": custkey,
+                "o_orderstatus": rng.choice(["F", "O", "P"]),
+                "o_totalprice": _money(rng.uniform(800.0, 500000.0)),
+                "o_orderdate": orderdate.isoformat(),
+                "o_orderpriority": rng.choice(PRIORITIES),
+                "o_clerk": f"Clerk#{rng.randint(1, max(2, self.num_orders // 100)):09d}",
+                "o_shippriority": 0,
+                "o_comment": comment,
+            })
+        return rows
+
+    def lineitem(self, orders: Sequence[dict],
+                 parts: Sequence[dict]) -> List[dict]:
+        rng = random.Random(self.seed + 8)
+        price_of = {row["p_partkey"]: float(row["p_retailprice"])
+                    for row in parts}
+        rows = []
+        for order in orders:
+            orderdate = _dt.date.fromisoformat(order["o_orderdate"])
+            for line in range(1, rng.randint(1, 7) + 1):
+                part = rng.randint(1, self.num_part)
+                supp = ((part + rng.randint(0, 3) *
+                         (self.num_supplier // 4 + 1))
+                        % self.num_supplier) + 1
+                quantity = rng.randint(1, 50)
+                extended = quantity * price_of[part]
+                shipdate = orderdate + _dt.timedelta(days=rng.randint(1, 121))
+                commitdate = orderdate + _dt.timedelta(days=rng.randint(30, 90))
+                receiptdate = shipdate + _dt.timedelta(days=rng.randint(1, 30))
+                returnflag = (rng.choice(["R", "A"])
+                              if receiptdate <= _CUTOFF else "N")
+                linestatus = "O" if shipdate > _CUTOFF else "F"
+                rows.append({
+                    "l_orderkey": order["o_orderkey"],
+                    "l_partkey": part,
+                    "l_suppkey": supp,
+                    "l_linenumber": line,
+                    "l_quantity": quantity,
+                    "l_extendedprice": _money(extended),
+                    "l_discount": round(rng.randint(0, 10) / 100, 2),
+                    "l_tax": round(rng.randint(0, 8) / 100, 2),
+                    "l_returnflag": returnflag,
+                    "l_linestatus": linestatus,
+                    "l_shipdate": shipdate.isoformat(),
+                    "l_commitdate": commitdate.isoformat(),
+                    "l_receiptdate": receiptdate.isoformat(),
+                    "l_shipinstruct": rng.choice(SHIP_INSTRUCT),
+                    "l_shipmode": rng.choice(SHIP_MODES),
+                    "l_comment": _comment(rng, 2, 5),
+                })
+        return rows
+
+    # -- bundles -----------------------------------------------------------
+
+    def tables(self) -> Dict[str, List[dict]]:
+        """All eight tables keyed by name."""
+        orders = self.orders()
+        parts = self.part()
+        return {
+            "region": self.region(),
+            "nation": self.nation(),
+            "supplier": self.supplier(),
+            "customer": self.customer(),
+            "part": parts,
+            "partsupp": self.partsupp(),
+            "orders": orders,
+            "lineitem": self.lineitem(orders, parts),
+        }
+
+    def combined(self, shuffled: bool = False,
+                 interleave: bool = True) -> List[dict]:
+        """The paper's combined relation: all tables in one document
+        stream.
+
+        ``interleave`` mimics parallel multi-table loading (documents of
+        different tables mixed block-wise, "imperfect insertion
+        order"); ``shuffled`` randomizes the order completely
+        (Section 6.4).
+        """
+        tables = self.tables()
+        if shuffled:
+            documents = [doc for rows in tables.values() for doc in rows]
+            random.Random(self.seed + 99).shuffle(documents)
+            return documents
+        if not interleave:
+            return [doc for name in TABLE_NAMES for doc in tables[name]]
+        # block-wise round robin: bursts from each loader thread
+        rng = random.Random(self.seed + 98)
+        streams = [list(reversed(tables[name])) for name in TABLE_NAMES]
+        documents: List[dict] = []
+        while any(streams):
+            alive = [stream for stream in streams if stream]
+            stream = rng.choice(alive)
+            for _ in range(min(len(stream), rng.randint(50, 200))):
+                documents.append(stream.pop())
+        return documents
+
+
+def generate_tables(sf: float = 0.01, seed: int = 42) -> Dict[str, List[dict]]:
+    return TpchGenerator(sf, seed).tables()
+
+
+def generate_combined(sf: float = 0.01, seed: int = 42,
+                      shuffled: bool = False) -> List[dict]:
+    return TpchGenerator(sf, seed).combined(shuffled=shuffled)

@@ -1,0 +1,445 @@
+"""The 22 TPC-H queries, JSONized (Section 6.1).
+
+Every table reference reads the JSON document column with
+PostgreSQL-style access operators, exactly like the paper's example
+(Figure 5).  In *combined* mode all eight table names resolve to the
+same physical relation; key-presence semantics (absent key -> NULL ->
+predicate false) plus tile skipping make each alias select its
+document type.
+
+Where combined mode needs an explicit key-presence guard (Q13's
+preserved left-join side has no other predicate on customer keys), the
+guard is part of the query; it is harmless in split-table mode.
+"""
+
+TPCH_QUERIES = {
+    1: """
+select l.data->>'l_returnflag' as l_returnflag,
+       l.data->>'l_linestatus' as l_linestatus,
+       sum(l.data->>'l_quantity'::int) as sum_qty,
+       sum(l.data->>'l_extendedprice'::decimal) as sum_base_price,
+       sum(l.data->>'l_extendedprice'::decimal
+           * (1 - l.data->>'l_discount'::decimal)) as sum_disc_price,
+       sum(l.data->>'l_extendedprice'::decimal
+           * (1 - l.data->>'l_discount'::decimal)
+           * (1 + l.data->>'l_tax'::decimal)) as sum_charge,
+       avg(l.data->>'l_quantity'::int) as avg_qty,
+       avg(l.data->>'l_extendedprice'::decimal) as avg_price,
+       avg(l.data->>'l_discount'::decimal) as avg_disc,
+       count(*) as count_order
+from lineitem l
+where l.data->>'l_shipdate'::date <= date '1998-12-01' - interval '90' day
+group by l.data->>'l_returnflag', l.data->>'l_linestatus'
+order by l_returnflag, l_linestatus
+""",
+    2: """
+select s.data->>'s_acctbal'::decimal as s_acctbal,
+       s.data->>'s_name' as s_name,
+       n.data->>'n_name' as n_name,
+       p.data->>'p_partkey'::int as p_partkey,
+       p.data->>'p_mfgr' as p_mfgr,
+       s.data->>'s_address' as s_address,
+       s.data->>'s_phone' as s_phone,
+       s.data->>'s_comment' as s_comment
+from part p, supplier s, partsupp ps, nation n, region r
+where p.data->>'p_partkey'::int = ps.data->>'ps_partkey'::int
+  and s.data->>'s_suppkey'::int = ps.data->>'ps_suppkey'::int
+  and p.data->>'p_size'::int = 15
+  and p.data->>'p_type' like '%BRASS'
+  and s.data->>'s_nationkey'::int = n.data->>'n_nationkey'::int
+  and n.data->>'n_regionkey'::int = r.data->>'r_regionkey'::int
+  and r.data->>'r_name' = 'EUROPE'
+  and ps.data->>'ps_supplycost'::decimal = (
+      select min(ps2.data->>'ps_supplycost'::decimal)
+      from partsupp ps2, supplier s2, nation n2, region r2
+      where p.data->>'p_partkey'::int = ps2.data->>'ps_partkey'::int
+        and s2.data->>'s_suppkey'::int = ps2.data->>'ps_suppkey'::int
+        and s2.data->>'s_nationkey'::int = n2.data->>'n_nationkey'::int
+        and n2.data->>'n_regionkey'::int = r2.data->>'r_regionkey'::int
+        and r2.data->>'r_name' = 'EUROPE')
+order by s_acctbal desc, n_name, s_name, p_partkey
+limit 100
+""",
+    3: """
+select l.data->>'l_orderkey'::int as l_orderkey,
+       sum(l.data->>'l_extendedprice'::decimal
+           * (1 - l.data->>'l_discount'::decimal)) as revenue,
+       o.data->>'o_orderdate'::date as o_orderdate,
+       o.data->>'o_shippriority'::int as o_shippriority
+from customer c, orders o, lineitem l
+where c.data->>'c_mktsegment' = 'BUILDING'
+  and c.data->>'c_custkey'::int = o.data->>'o_custkey'::int
+  and l.data->>'l_orderkey'::int = o.data->>'o_orderkey'::int
+  and o.data->>'o_orderdate'::date < date '1995-03-15'
+  and l.data->>'l_shipdate'::date > date '1995-03-15'
+group by l.data->>'l_orderkey'::int, o.data->>'o_orderdate'::date,
+         o.data->>'o_shippriority'::int
+order by revenue desc, o_orderdate
+limit 10
+""",
+    4: """
+select o.data->>'o_orderpriority' as o_orderpriority,
+       count(*) as order_count
+from orders o
+where o.data->>'o_orderdate'::date >= date '1993-07-01'
+  and o.data->>'o_orderdate'::date < date '1993-07-01' + interval '3' month
+  and exists (
+      select l.data->>'l_orderkey'
+      from lineitem l
+      where l.data->>'l_orderkey'::int = o.data->>'o_orderkey'::int
+        and l.data->>'l_commitdate'::date < l.data->>'l_receiptdate'::date)
+group by o.data->>'o_orderpriority'
+order by o_orderpriority
+""",
+    5: """
+select n.data->>'n_name' as n_name,
+       sum(l.data->>'l_extendedprice'::decimal
+           * (1 - l.data->>'l_discount'::decimal)) as revenue
+from customer c, orders o, lineitem l, supplier s, nation n, region r
+where c.data->>'c_custkey'::int = o.data->>'o_custkey'::int
+  and l.data->>'l_orderkey'::int = o.data->>'o_orderkey'::int
+  and l.data->>'l_suppkey'::int = s.data->>'s_suppkey'::int
+  and c.data->>'c_nationkey'::int = s.data->>'s_nationkey'::int
+  and s.data->>'s_nationkey'::int = n.data->>'n_nationkey'::int
+  and n.data->>'n_regionkey'::int = r.data->>'r_regionkey'::int
+  and r.data->>'r_name' = 'ASIA'
+  and o.data->>'o_orderdate'::date >= date '1994-01-01'
+  and o.data->>'o_orderdate'::date < date '1994-01-01' + interval '1' year
+group by n.data->>'n_name'
+order by revenue desc
+""",
+    6: """
+select sum(l.data->>'l_extendedprice'::decimal
+           * l.data->>'l_discount'::decimal) as revenue
+from lineitem l
+where l.data->>'l_shipdate'::date >= date '1994-01-01'
+  and l.data->>'l_shipdate'::date < date '1994-01-01' + interval '1' year
+  and l.data->>'l_discount'::decimal between 0.05 and 0.07
+  and l.data->>'l_quantity'::int < 24
+""",
+    7: """
+select shipping.supp_nation as supp_nation,
+       shipping.cust_nation as cust_nation,
+       shipping.l_year as l_year,
+       sum(shipping.volume) as revenue
+from (
+    select n1.data->>'n_name' as supp_nation,
+           n2.data->>'n_name' as cust_nation,
+           extract(year from l.data->>'l_shipdate'::date) as l_year,
+           l.data->>'l_extendedprice'::decimal
+             * (1 - l.data->>'l_discount'::decimal) as volume
+    from supplier s, lineitem l, orders o, customer c, nation n1, nation n2
+    where s.data->>'s_suppkey'::int = l.data->>'l_suppkey'::int
+      and o.data->>'o_orderkey'::int = l.data->>'l_orderkey'::int
+      and c.data->>'c_custkey'::int = o.data->>'o_custkey'::int
+      and s.data->>'s_nationkey'::int = n1.data->>'n_nationkey'::int
+      and c.data->>'c_nationkey'::int = n2.data->>'n_nationkey'::int
+      and ((n1.data->>'n_name' = 'FRANCE' and n2.data->>'n_name' = 'GERMANY')
+        or (n1.data->>'n_name' = 'GERMANY' and n2.data->>'n_name' = 'FRANCE'))
+      and l.data->>'l_shipdate'::date between date '1995-01-01'
+                                          and date '1996-12-31'
+) as shipping
+group by shipping.supp_nation, shipping.cust_nation, shipping.l_year
+order by supp_nation, cust_nation, l_year
+""",
+    8: """
+select all_nations.o_year as o_year,
+       sum(case when all_nations.nation = 'BRAZIL'
+                then all_nations.volume else 0 end)
+         / sum(all_nations.volume) as mkt_share
+from (
+    select extract(year from o.data->>'o_orderdate'::date) as o_year,
+           l.data->>'l_extendedprice'::decimal
+             * (1 - l.data->>'l_discount'::decimal) as volume,
+           n2.data->>'n_name' as nation
+    from part p, supplier s, lineitem l, orders o, customer c,
+         nation n1, nation n2, region r
+    where p.data->>'p_partkey'::int = l.data->>'l_partkey'::int
+      and s.data->>'s_suppkey'::int = l.data->>'l_suppkey'::int
+      and l.data->>'l_orderkey'::int = o.data->>'o_orderkey'::int
+      and o.data->>'o_custkey'::int = c.data->>'c_custkey'::int
+      and c.data->>'c_nationkey'::int = n1.data->>'n_nationkey'::int
+      and n1.data->>'n_regionkey'::int = r.data->>'r_regionkey'::int
+      and r.data->>'r_name' = 'AMERICA'
+      and s.data->>'s_nationkey'::int = n2.data->>'n_nationkey'::int
+      and o.data->>'o_orderdate'::date between date '1995-01-01'
+                                           and date '1996-12-31'
+      and p.data->>'p_type' = 'ECONOMY ANODIZED STEEL'
+) as all_nations
+group by all_nations.o_year
+order by o_year
+""",
+    9: """
+select profit.nation as nation, profit.o_year as o_year,
+       sum(profit.amount) as sum_profit
+from (
+    select n.data->>'n_name' as nation,
+           extract(year from o.data->>'o_orderdate'::date) as o_year,
+           l.data->>'l_extendedprice'::decimal
+             * (1 - l.data->>'l_discount'::decimal)
+             - ps.data->>'ps_supplycost'::decimal
+               * l.data->>'l_quantity'::int as amount
+    from part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+    where s.data->>'s_suppkey'::int = l.data->>'l_suppkey'::int
+      and ps.data->>'ps_suppkey'::int = l.data->>'l_suppkey'::int
+      and ps.data->>'ps_partkey'::int = l.data->>'l_partkey'::int
+      and p.data->>'p_partkey'::int = l.data->>'l_partkey'::int
+      and o.data->>'o_orderkey'::int = l.data->>'l_orderkey'::int
+      and s.data->>'s_nationkey'::int = n.data->>'n_nationkey'::int
+      and p.data->>'p_name' like '%green%'
+) as profit
+group by profit.nation, profit.o_year
+order by nation, o_year desc
+""",
+    10: """
+select c.data->>'c_custkey'::int as c_custkey,
+       c.data->>'c_name' as c_name,
+       sum(l.data->>'l_extendedprice'::decimal
+           * (1 - l.data->>'l_discount'::decimal)) as revenue,
+       c.data->>'c_acctbal'::decimal as c_acctbal,
+       n.data->>'n_name' as n_name,
+       c.data->>'c_address' as c_address,
+       c.data->>'c_phone' as c_phone,
+       c.data->>'c_comment' as c_comment
+from customer c, orders o, lineitem l, nation n
+where c.data->>'c_custkey'::int = o.data->>'o_custkey'::int
+  and l.data->>'l_orderkey'::int = o.data->>'o_orderkey'::int
+  and o.data->>'o_orderdate'::date >= date '1993-10-01'
+  and o.data->>'o_orderdate'::date < date '1993-10-01' + interval '3' month
+  and l.data->>'l_returnflag' = 'R'
+  and c.data->>'c_nationkey'::int = n.data->>'n_nationkey'::int
+group by c.data->>'c_custkey'::int, c.data->>'c_name',
+         c.data->>'c_acctbal'::decimal, c.data->>'c_phone',
+         n.data->>'n_name', c.data->>'c_address', c.data->>'c_comment'
+order by revenue desc
+limit 20
+""",
+    11: """
+select ps.data->>'ps_partkey'::int as ps_partkey,
+       sum(ps.data->>'ps_supplycost'::decimal
+           * ps.data->>'ps_availqty'::int) as value
+from partsupp ps, supplier s, nation n
+where ps.data->>'ps_suppkey'::int = s.data->>'s_suppkey'::int
+  and s.data->>'s_nationkey'::int = n.data->>'n_nationkey'::int
+  and n.data->>'n_name' = 'GERMANY'
+group by ps.data->>'ps_partkey'::int
+having sum(ps.data->>'ps_supplycost'::decimal
+           * ps.data->>'ps_availqty'::int) > (
+    select sum(ps2.data->>'ps_supplycost'::decimal
+               * ps2.data->>'ps_availqty'::int) * 0.0001
+    from partsupp ps2, supplier s2, nation n2
+    where ps2.data->>'ps_suppkey'::int = s2.data->>'s_suppkey'::int
+      and s2.data->>'s_nationkey'::int = n2.data->>'n_nationkey'::int
+      and n2.data->>'n_name' = 'GERMANY')
+order by value desc
+""",
+    12: """
+select l.data->>'l_shipmode' as l_shipmode,
+       sum(case when o.data->>'o_orderpriority' = '1-URGENT'
+                  or o.data->>'o_orderpriority' = '2-HIGH'
+                then 1 else 0 end) as high_line_count,
+       sum(case when o.data->>'o_orderpriority' <> '1-URGENT'
+                 and o.data->>'o_orderpriority' <> '2-HIGH'
+                then 1 else 0 end) as low_line_count
+from orders o, lineitem l
+where o.data->>'o_orderkey'::int = l.data->>'l_orderkey'::int
+  and l.data->>'l_shipmode' in ('MAIL', 'SHIP')
+  and l.data->>'l_commitdate'::date < l.data->>'l_receiptdate'::date
+  and l.data->>'l_shipdate'::date < l.data->>'l_commitdate'::date
+  and l.data->>'l_receiptdate'::date >= date '1994-01-01'
+  and l.data->>'l_receiptdate'::date < date '1994-01-01' + interval '1' year
+group by l.data->>'l_shipmode'
+order by l_shipmode
+""",
+    13: """
+select c_orders.c_count as c_count, count(*) as custdist
+from (
+    select c.data->>'c_custkey'::int as c_custkey,
+           count(o.data->>'o_orderkey'::int) as c_count
+    from customer c left join orders o
+      on c.data->>'c_custkey'::int = o.data->>'o_custkey'::int
+     and o.data->>'o_comment' not like '%special%requests%'
+    where c.data->>'c_custkey' is not null
+    group by c.data->>'c_custkey'::int
+) as c_orders
+group by c_orders.c_count
+order by custdist desc, c_count desc
+""",
+    14: """
+select 100.00 * sum(case when p.data->>'p_type' like 'PROMO%'
+                         then l.data->>'l_extendedprice'::decimal
+                              * (1 - l.data->>'l_discount'::decimal)
+                         else 0 end)
+       / sum(l.data->>'l_extendedprice'::decimal
+             * (1 - l.data->>'l_discount'::decimal)) as promo_revenue
+from lineitem l, part p
+where l.data->>'l_partkey'::int = p.data->>'p_partkey'::int
+  and l.data->>'l_shipdate'::date >= date '1995-09-01'
+  and l.data->>'l_shipdate'::date < date '1995-09-01' + interval '1' month
+""",
+    15: """
+with revenue as (
+    select l.data->>'l_suppkey'::int as supplier_no,
+           sum(l.data->>'l_extendedprice'::decimal
+               * (1 - l.data->>'l_discount'::decimal)) as total_revenue
+    from lineitem l
+    where l.data->>'l_shipdate'::date >= date '1996-01-01'
+      and l.data->>'l_shipdate'::date < date '1996-01-01' + interval '3' month
+    group by l.data->>'l_suppkey'::int
+)
+select s.data->>'s_suppkey'::int as s_suppkey,
+       s.data->>'s_name' as s_name,
+       s.data->>'s_address' as s_address,
+       s.data->>'s_phone' as s_phone,
+       r.total_revenue as total_revenue
+from supplier s, revenue r
+where s.data->>'s_suppkey'::int = r.supplier_no
+  and r.total_revenue = (select max(r2.total_revenue) from revenue r2)
+order by s_suppkey
+""",
+    16: """
+select p.data->>'p_brand' as p_brand,
+       p.data->>'p_type' as p_type,
+       p.data->>'p_size'::int as p_size,
+       count(distinct ps.data->>'ps_suppkey'::int) as supplier_cnt
+from partsupp ps, part p
+where p.data->>'p_partkey'::int = ps.data->>'ps_partkey'::int
+  and p.data->>'p_brand' <> 'Brand#45'
+  and p.data->>'p_type' not like 'MEDIUM POLISHED%'
+  and p.data->>'p_size'::int in (49, 14, 23, 45, 19, 3, 36, 9)
+  and ps.data->>'ps_suppkey'::int not in (
+      select s.data->>'s_suppkey'::int as sk
+      from supplier s
+      where s.data->>'s_comment' like '%Customer%Complaints%')
+group by p.data->>'p_brand', p.data->>'p_type', p.data->>'p_size'::int
+order by supplier_cnt desc, p_brand, p_type, p_size
+""",
+    17: """
+select sum(l.data->>'l_extendedprice'::decimal) / 7.0 as avg_yearly
+from lineitem l, part p
+where p.data->>'p_partkey'::int = l.data->>'l_partkey'::int
+  and p.data->>'p_brand' = 'Brand#23'
+  and p.data->>'p_container' = 'MED BOX'
+  and l.data->>'l_quantity'::int < (
+      select 0.2 * avg(l2.data->>'l_quantity'::int)
+      from lineitem l2
+      where l2.data->>'l_partkey'::int = p.data->>'p_partkey'::int)
+""",
+    18: """
+select c.data->>'c_name' as c_name,
+       c.data->>'c_custkey'::int as c_custkey,
+       o.data->>'o_orderkey'::int as o_orderkey,
+       o.data->>'o_orderdate'::date as o_orderdate,
+       o.data->>'o_totalprice'::decimal as o_totalprice,
+       sum(l.data->>'l_quantity'::int) as total_qty
+from customer c, orders o, lineitem l
+where o.data->>'o_orderkey'::int in (
+      select l2.data->>'l_orderkey'::int as lok
+      from lineitem l2
+      group by l2.data->>'l_orderkey'::int
+      having sum(l2.data->>'l_quantity'::int) > 300)
+  and c.data->>'c_custkey'::int = o.data->>'o_custkey'::int
+  and o.data->>'o_orderkey'::int = l.data->>'l_orderkey'::int
+group by c.data->>'c_name', c.data->>'c_custkey'::int,
+         o.data->>'o_orderkey'::int, o.data->>'o_orderdate'::date,
+         o.data->>'o_totalprice'::decimal
+order by o_totalprice desc, o_orderdate
+limit 100
+""",
+    19: """
+select sum(l.data->>'l_extendedprice'::decimal
+           * (1 - l.data->>'l_discount'::decimal)) as revenue
+from lineitem l, part p
+where p.data->>'p_partkey'::int = l.data->>'l_partkey'::int
+  and ((p.data->>'p_brand' = 'Brand#12'
+        and p.data->>'p_container' in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+        and l.data->>'l_quantity'::int between 1 and 11
+        and p.data->>'p_size'::int between 1 and 5
+        and l.data->>'l_shipmode' in ('AIR', 'REG AIR')
+        and l.data->>'l_shipinstruct' = 'DELIVER IN PERSON')
+    or (p.data->>'p_brand' = 'Brand#23'
+        and p.data->>'p_container' in ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+        and l.data->>'l_quantity'::int between 10 and 20
+        and p.data->>'p_size'::int between 1 and 10
+        and l.data->>'l_shipmode' in ('AIR', 'REG AIR')
+        and l.data->>'l_shipinstruct' = 'DELIVER IN PERSON')
+    or (p.data->>'p_brand' = 'Brand#34'
+        and p.data->>'p_container' in ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+        and l.data->>'l_quantity'::int between 20 and 30
+        and p.data->>'p_size'::int between 1 and 15
+        and l.data->>'l_shipmode' in ('AIR', 'REG AIR')
+        and l.data->>'l_shipinstruct' = 'DELIVER IN PERSON'))
+""",
+    20: """
+select s.data->>'s_name' as s_name, s.data->>'s_address' as s_address
+from supplier s, nation n
+where s.data->>'s_suppkey'::int in (
+      select ps.data->>'ps_suppkey'::int as pssupp
+      from partsupp ps
+      where ps.data->>'ps_partkey'::int in (
+            select p.data->>'p_partkey'::int as pk
+            from part p
+            where p.data->>'p_name' like 'forest%')
+        and ps.data->>'ps_availqty'::int > (
+            select 0.5 * sum(l.data->>'l_quantity'::int)
+            from lineitem l
+            where l.data->>'l_partkey'::int = ps.data->>'ps_partkey'::int
+              and l.data->>'l_suppkey'::int = ps.data->>'ps_suppkey'::int
+              and l.data->>'l_shipdate'::date >= date '1994-01-01'
+              and l.data->>'l_shipdate'::date <
+                  date '1994-01-01' + interval '1' year))
+  and s.data->>'s_nationkey'::int = n.data->>'n_nationkey'::int
+  and n.data->>'n_name' = 'CANADA'
+order by s_name
+""",
+    21: """
+select s.data->>'s_name' as s_name, count(*) as numwait
+from supplier s, lineitem l1, orders o, nation n
+where s.data->>'s_suppkey'::int = l1.data->>'l_suppkey'::int
+  and o.data->>'o_orderkey'::int = l1.data->>'l_orderkey'::int
+  and o.data->>'o_orderstatus' = 'F'
+  and l1.data->>'l_receiptdate'::date > l1.data->>'l_commitdate'::date
+  and exists (
+      select l2.data->>'l_orderkey'
+      from lineitem l2
+      where l2.data->>'l_orderkey'::int = l1.data->>'l_orderkey'::int
+        and l2.data->>'l_suppkey'::int <> l1.data->>'l_suppkey'::int)
+  and not exists (
+      select l3.data->>'l_orderkey'
+      from lineitem l3
+      where l3.data->>'l_orderkey'::int = l1.data->>'l_orderkey'::int
+        and l3.data->>'l_suppkey'::int <> l1.data->>'l_suppkey'::int
+        and l3.data->>'l_receiptdate'::date > l3.data->>'l_commitdate'::date)
+  and s.data->>'s_nationkey'::int = n.data->>'n_nationkey'::int
+  and n.data->>'n_name' = 'SAUDI ARABIA'
+group by s.data->>'s_name'
+order by numwait desc, s_name
+limit 100
+""",
+    22: """
+select custsale.cntrycode as cntrycode, count(*) as numcust,
+       sum(custsale.c_acctbal) as totacctbal
+from (
+    select substring(c.data->>'c_phone' from 1 for 2) as cntrycode,
+           c.data->>'c_acctbal'::decimal as c_acctbal
+    from customer c
+    where substring(c.data->>'c_phone' from 1 for 2)
+          in ('13', '31', '23', '29', '30', '18', '17')
+      and c.data->>'c_acctbal'::decimal > (
+          select avg(c2.data->>'c_acctbal'::decimal)
+          from customer c2
+          where c2.data->>'c_acctbal'::decimal > 0.00
+            and substring(c2.data->>'c_phone' from 1 for 2)
+                in ('13', '31', '23', '29', '30', '18', '17'))
+      and not exists (
+          select o.data->>'o_orderkey'
+          from orders o
+          where o.data->>'o_custkey'::int = c.data->>'c_custkey'::int)
+) as custsale
+group by custsale.cntrycode
+order by cntrycode
+""",
+}
+
+#: Queries whose chokepoints the paper discusses in detail (Section 6.1)
+HIGHLIGHTED_QUERIES = (1, 3, 18)

@@ -1,0 +1,127 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def ndjson_file(tmp_path):
+    path = tmp_path / "events.ndjson"
+    docs = [{"id": i, "kind": "a" if i % 2 else "b", "v": float(i)}
+            for i in range(40)]
+    path.write_text("\n".join(json.dumps(d) for d in docs))
+    return str(path)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_load_and_query(self, ndjson_file):
+        code, text = run_cli(
+            "--load", f"events={ndjson_file}",
+            "--tile-size", "16",
+            "--sql", "select count(*) as n from events e",
+        )
+        assert code == 0
+        assert "loaded 40 documents" in text
+        assert "40" in text
+
+    def test_group_by_query(self, ndjson_file):
+        code, text = run_cli(
+            "--load", f"events={ndjson_file}", "--tile-size", "16",
+            "--sql", "select e.data->>'kind' as k, count(*) as n "
+                     "from events e group by e.data->>'kind' order by k",
+        )
+        assert code == 0
+        assert "a" in text and "b" in text and "20" in text
+
+    def test_multiple_queries(self, ndjson_file):
+        code, text = run_cli(
+            "--load", f"events={ndjson_file}", "--tile-size", "16",
+            "--sql", "select count(*) as n from events e",
+            "--sql", "select max(e.data->>'v'::float) as m from events e",
+        )
+        assert code == 0
+        assert "39" in text
+
+    def test_explain_flag(self, ndjson_file):
+        code, text = run_cli(
+            "--load", f"events={ndjson_file}", "--tile-size", "16",
+            "--explain",
+            "--sql", "select e.data->>'id'::int as id from events e "
+                     "where e.data->>'kind' = 'a' order by id limit 1",
+        )
+        assert code == 0
+        assert "join order" in text
+
+    def test_describe(self, ndjson_file):
+        code, text = run_cli(
+            "--load", f"events={ndjson_file}", "--tile-size", "16",
+            "--describe", "events",
+        )
+        assert code == 0
+        assert "tile #0" in text
+        assert "id :: INT64" in text
+
+    def test_format_choice(self, ndjson_file):
+        code, text = run_cli(
+            "--load", f"events={ndjson_file}", "--format", "jsonb",
+            "--sql", "select count(*) as n from events e",
+        )
+        assert code == 0
+
+    def test_sql_error_reported(self, ndjson_file):
+        code, text = run_cli(
+            "--load", f"events={ndjson_file}",
+            "--sql", "select nope from nowhere",
+        )
+        assert code == 1
+        assert "error:" in text
+
+    def test_missing_file(self):
+        code, text = run_cli("--load", "x=/does/not/exist.ndjson")
+        assert code == 1
+        assert "error:" in text
+
+    def test_bad_load_spec(self, ndjson_file):
+        with pytest.raises(SystemExit):
+            run_cli("--load", "justaname")
+
+    def test_describe_unknown_table(self, ndjson_file):
+        code, text = run_cli(
+            "--load", f"events={ndjson_file}", "--describe", "ghost")
+        assert code == 1
+
+    def test_options_flags(self, ndjson_file):
+        code, _text = run_cli(
+            "--load", f"events={ndjson_file}", "--no-skipping",
+            "--no-statistics",
+            "--sql", "select count(*) as n from events e "
+                     "where e.data->>'v'::float > 5",
+        )
+        assert code == 0
+
+
+class TestCliPersistence:
+    def test_save_and_open(self, ndjson_file, tmp_path):
+        store = str(tmp_path / "store")
+        code, text = run_cli(
+            "--load", f"events={ndjson_file}", "--tile-size", "16",
+            "--save", store,
+        )
+        assert code == 0 and "saved 'events'" in text
+        code, text = run_cli(
+            "--open", store,
+            "--sql", "select count(*) as n from events e",
+        )
+        assert code == 0
+        assert "opened 'events': 40 documents" in text
+        assert "40" in text

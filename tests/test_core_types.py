@@ -1,0 +1,78 @@
+"""Tests for the primitive type model (repro.core.types)."""
+
+import pytest
+
+from repro.core.types import (
+    COLUMN_TYPE_FOR_JSON,
+    ColumnType,
+    JsonType,
+    is_numeric_string,
+    json_type_of,
+)
+
+
+class TestJsonTypeOf:
+    def test_null(self):
+        assert json_type_of(None) == JsonType.NULL
+
+    def test_bool_before_int(self):
+        assert json_type_of(True) == JsonType.BOOL
+        assert json_type_of(False) == JsonType.BOOL
+
+    def test_int(self):
+        assert json_type_of(42) == JsonType.INT
+        assert json_type_of(-1) == JsonType.INT
+
+    def test_float(self):
+        assert json_type_of(3.5) == JsonType.FLOAT
+
+    def test_plain_string(self):
+        assert json_type_of("hello") == JsonType.STRING
+
+    def test_numeric_string(self):
+        assert json_type_of("19.99") == JsonType.NUMSTR
+
+    def test_containers(self):
+        assert json_type_of({}) == JsonType.OBJECT
+        assert json_type_of([]) == JsonType.ARRAY
+        assert json_type_of((1, 2)) == JsonType.ARRAY
+
+    def test_rejects_non_json(self):
+        with pytest.raises(TypeError):
+            json_type_of(object())
+
+
+class TestNumericStringDetection:
+    @pytest.mark.parametrize(
+        "text",
+        ["0", "-0", "7", "-42", "19.99", "0.5", "1e10", "1.5E-3", "-2.25e+4"],
+    )
+    def test_accepts_rfc8259_numbers(self, text):
+        assert is_numeric_string(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "01", "1.", ".5", "+1", "abc", "1,000", "1 ", " 1", "0x10",
+         "NaN", "Infinity", "1e", "--1", "1" * 65],
+    )
+    def test_rejects_non_numbers(self, text):
+        assert not is_numeric_string(text)
+
+
+class TestColumnTypeMapping:
+    def test_every_scalar_type_maps(self):
+        for jtype in (JsonType.BOOL, JsonType.INT, JsonType.FLOAT,
+                      JsonType.STRING, JsonType.NUMSTR):
+            assert COLUMN_TYPE_FOR_JSON[jtype] in ColumnType
+
+    def test_numeric_column_types(self):
+        assert ColumnType.INT64.is_numeric
+        assert ColumnType.FLOAT64.is_numeric
+        assert ColumnType.DECIMAL.is_numeric
+        assert not ColumnType.STRING.is_numeric
+        assert not ColumnType.TIMESTAMP.is_numeric
+
+    def test_scalar_json_types(self):
+        assert JsonType.INT.is_scalar
+        assert not JsonType.OBJECT.is_scalar
+        assert not JsonType.ARRAY.is_scalar

@@ -1,0 +1,100 @@
+"""Tests for date/time string detection and conversion (Section 4.9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datetimes import (
+    MICROS_PER_DAY,
+    add_interval,
+    date_literal,
+    date_string,
+    looks_like_datetime,
+    micros_to_datetime,
+    parse_datetime_string,
+    timestamp_string,
+)
+
+
+class TestParsing:
+    def test_iso_date(self):
+        micros = parse_datetime_string("1994-01-01")
+        assert micros is not None
+        assert date_string(micros) == "1994-01-01"
+
+    def test_iso_datetime(self):
+        micros = parse_datetime_string("2020-06-01 17:33:11")
+        assert timestamp_string(micros) == "2020-06-01 17:33:11"
+
+    def test_iso_datetime_t_separator_and_fraction(self):
+        micros = parse_datetime_string("2020-06-01T17:33:11.250Z")
+        assert micros is not None
+        assert micros % 1_000_000 == 250_000
+
+    def test_us_date(self):
+        micros = parse_datetime_string("6/1/2020")
+        assert date_string(micros) == "2020-06-01"
+
+    def test_twitter_format(self):
+        micros = parse_datetime_string("Mon Jun 01 17:33:11 +0000 2020")
+        assert timestamp_string(micros) == "2020-06-01 17:33:11"
+
+    @pytest.mark.parametrize("text", [
+        "", "hello", "2020-13-01", "2020-02-30", "99/99/2020",
+        "2020-06-01x", "not a date at all honestly", "12345678",
+        "1/08",  # the paper's shorthand is ambiguous, we reject it
+    ])
+    def test_rejects_non_dates(self, text):
+        assert parse_datetime_string(text) is None
+        assert not looks_like_datetime(text)
+
+    def test_epoch(self):
+        assert parse_datetime_string("1970-01-01") == 0
+
+    def test_ordering_preserved(self):
+        earlier = parse_datetime_string("1994-01-01")
+        later = parse_datetime_string("1994-01-02")
+        assert later - earlier == MICROS_PER_DAY
+
+
+class TestLiterals:
+    def test_date_literal(self):
+        assert date_literal("1994-01-01") == parse_datetime_string("1994-01-01")
+
+    def test_invalid_literal_raises(self):
+        with pytest.raises(ValueError):
+            date_literal("tomorrow")
+
+
+class TestIntervals:
+    def test_add_days(self):
+        base = date_literal("1998-12-01")
+        assert date_string(add_interval(base, days=-90)) == "1998-09-02"
+
+    def test_add_months(self):
+        base = date_literal("1993-07-01")
+        assert date_string(add_interval(base, months=3)) == "1993-10-01"
+
+    def test_add_years(self):
+        base = date_literal("1994-01-01")
+        assert date_string(add_interval(base, years=1)) == "1995-01-01"
+
+    def test_month_end_clamping(self):
+        base = date_literal("2020-01-31")
+        assert date_string(add_interval(base, months=1)) == "2020-02-29"
+        assert date_string(add_interval(base, months=13)) == "2021-02-28"
+
+    def test_year_across_leap(self):
+        base = date_literal("2020-02-29")
+        assert date_string(add_interval(base, years=1)) == "2021-02-28"
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(st.dates(min_value=__import__("datetime").date(1900, 1, 1),
+                    max_value=__import__("datetime").date(2100, 1, 1)))
+    def test_property_iso_roundtrip(self, day):
+        micros = parse_datetime_string(day.isoformat())
+        assert micros is not None
+        assert date_string(micros) == day.isoformat()
+        assert micros_to_datetime(micros).date() == day

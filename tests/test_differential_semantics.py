@@ -1,0 +1,194 @@
+"""Differential testing: SQL results vs a naive Python reference.
+
+For randomized document collections, a set of query templates is
+evaluated both through the full engine (tiles, pushdown, skipping,
+vectorized operators) and by straightforward Python loops over the raw
+documents.  Any divergence is a correctness bug somewhere in the
+pipeline.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, ExtractionConfig, StorageFormat
+
+CONFIG = ExtractionConfig(tile_size=16, partition_size=2)
+
+documents = st.lists(
+    st.fixed_dictionaries(
+        {},
+        optional={
+            "k": st.integers(0, 5),
+            "v": st.integers(-100, 100),
+            "f": st.floats(-50, 50, allow_nan=False),
+            "s": st.sampled_from(["red", "green", "blue", ""]),
+            "nested": st.fixed_dictionaries(
+                {}, optional={"x": st.integers(0, 3)}),
+        },
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def load(docs, storage_format=StorageFormat.TILES):
+    db = Database(storage_format, CONFIG)
+    db.load_table("t", docs)
+    return db
+
+
+class TestDifferentialFilters:
+    @settings(max_examples=40, deadline=None)
+    @given(documents, st.integers(-100, 100))
+    def test_range_count(self, docs, threshold):
+        db = load(docs)
+        got = db.sql(f"select count(*) as n from t x "
+                     f"where x.data->>'v'::int >= {threshold}").scalar()
+        expected = sum(1 for d in docs
+                       if d.get("v") is not None and d["v"] >= threshold)
+        assert got == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(documents, st.sampled_from(["red", "green", "blue"]))
+    def test_string_equality(self, docs, needle):
+        db = load(docs)
+        got = db.sql(f"select count(*) as n from t x "
+                     f"where x.data->>'s' = '{needle}'").scalar()
+        expected = sum(1 for d in docs if d.get("s") == needle)
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents)
+    def test_nested_access(self, docs):
+        db = load(docs)
+        got = db.sql("select count(*) as n from t x "
+                     "where x.data->'nested'->>'x'::int >= 0").scalar()
+        expected = sum(
+            1 for d in docs
+            if isinstance(d.get("nested"), dict)
+            and d["nested"].get("x") is not None and d["nested"]["x"] >= 0)
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents)
+    def test_is_not_null(self, docs):
+        db = load(docs)
+        got = db.sql("select count(*) as n from t x "
+                     "where x.data->>'f' is not null").scalar()
+        expected = sum(1 for d in docs if d.get("f") is not None)
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents)
+    def test_disjunction(self, docs):
+        db = load(docs)
+        got = db.sql("select count(*) as n from t x "
+                     "where x.data->>'v'::int > 50 or x.data->>'s' = 'red'"
+                     ).scalar()
+        expected = sum(
+            1 for d in docs
+            if (d.get("v") is not None and d["v"] > 50)
+            or d.get("s") == "red")
+        assert got == expected
+
+
+class TestDifferentialAggregates:
+    @settings(max_examples=40, deadline=None)
+    @given(documents)
+    def test_sum_avg_min_max(self, docs):
+        db = load(docs)
+        result = db.sql(
+            "select sum(x.data->>'v'::int) as s, avg(x.data->>'v'::int) "
+            "as a, min(x.data->>'v'::int) as lo, max(x.data->>'v'::int) "
+            "as hi, count(x.data->>'v'::int) as c from t x")
+        values = [d["v"] for d in docs if d.get("v") is not None]
+        s, a, lo, hi, c = result.rows[0]
+        assert c == len(values)
+        if values:
+            assert s == sum(values)
+            assert a == pytest.approx(sum(values) / len(values))
+            assert lo == min(values) and hi == max(values)
+
+    @settings(max_examples=40, deadline=None)
+    @given(documents)
+    def test_group_by_key(self, docs):
+        db = load(docs)
+        result = db.sql(
+            "select x.data->>'k'::int as k, count(*) as n, "
+            "sum(x.data->>'v'::int) as s from t x "
+            "group by x.data->>'k'::int")
+        expected = {}
+        for d in docs:
+            key = d.get("k")
+            entry = expected.setdefault(key, [0, 0, False])
+            entry[0] += 1
+            if d.get("v") is not None:
+                entry[1] += d["v"]
+                entry[2] = True
+        got = {row[0]: (row[1], row[2]) for row in result.rows}
+        assert set(got) == set(expected)
+        for key, (count, total, _any) in expected.items():
+            assert got[key][0] == count
+            assert got[key][1] == total
+
+    @settings(max_examples=25, deadline=None)
+    @given(documents)
+    def test_count_distinct(self, docs):
+        db = load(docs)
+        got = db.sql("select count(distinct x.data->>'k'::int) as n "
+                     "from t x").scalar()
+        expected = len({d["k"] for d in docs if d.get("k") is not None})
+        assert got == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(documents)
+    def test_float_sum_close(self, docs):
+        db = load(docs)
+        got = db.sql("select sum(x.data->>'f'::float) as s from t x").scalar()
+        values = [d["f"] for d in docs if d.get("f") is not None]
+        if values:
+            assert got == pytest.approx(math.fsum(values), rel=1e-6,
+                                        abs=1e-6)
+
+
+class TestDifferentialJoins:
+    @settings(max_examples=25, deadline=None)
+    @given(documents, documents)
+    def test_inner_join_count(self, left_docs, right_docs):
+        db = Database(StorageFormat.TILES, CONFIG)
+        db.load_table("l", left_docs)
+        db.load_table("r", right_docs)
+        got = db.sql(
+            "select count(*) as n from l, r "
+            "where l.data->>'k'::int = r.data->>'k'::int").scalar()
+        expected = sum(
+            1 for a in left_docs for b in right_docs
+            if a.get("k") is not None and a.get("k") == b.get("k"))
+        assert got == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(documents)
+    def test_semi_join_via_in(self, docs):
+        db = Database(StorageFormat.TILES, CONFIG)
+        db.load_table("l", docs)
+        db.load_table("r", [{"k": 1}, {"k": 3}, {"k": 5}])
+        got = db.sql(
+            "select count(*) as n from l where l.data->>'k'::int in "
+            "(select r.data->>'k'::int from r)").scalar()
+        expected = sum(1 for d in docs if d.get("k") in (1, 3, 5))
+        assert got == expected
+
+
+class TestDifferentialOrderLimit:
+    @settings(max_examples=25, deadline=None)
+    @given(documents, st.integers(1, 10))
+    def test_topk_matches_python_sort(self, docs, limit):
+        db = load(docs)
+        result = db.sql(f"select x.data->>'v'::int as v from t x "
+                        f"where x.data->>'v' is not null "
+                        f"order by v limit {limit}")
+        expected = sorted(d["v"] for d in docs
+                          if d.get("v") is not None)[:limit]
+        assert result.column("v") == expected

@@ -1,0 +1,142 @@
+"""Tests for the BSON- and CBOR-style baseline formats (Section 6.9)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.jsonpath import KeyPath
+from repro.errors import JsonbDecodeError, JsonbEncodeError
+from repro.jsonb import bson, cbor
+
+DOC = {"id": 5, "name": "widget", "price": 19.99, "active": True,
+       "tags": ["a", "b"], "meta": {"depth": {"level": 3}}, "gone": None}
+
+
+class TestBsonRoundTrip:
+    def test_document(self):
+        assert bson.decode(bson.encode(DOC)) == DOC
+
+    def test_scalar_root_wrapped(self):
+        assert bson.decode(bson.encode(42)) == 42
+        assert bson.decode(bson.encode("text")) == "text"
+
+    def test_empty_document(self):
+        assert bson.decode(bson.encode({})) == {}
+
+    def test_int64_bounds(self):
+        doc = {"lo": -(2**63), "hi": 2**63 - 1}
+        assert bson.decode(bson.encode(doc)) == doc
+
+    def test_nul_in_key_rejected(self):
+        with pytest.raises(JsonbEncodeError):
+            bson.encode({"a\x00b": 1})
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(JsonbEncodeError):
+            bson.encode({"x": object()})
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(JsonbDecodeError):
+            bson.decode(bson.encode({"a": 1}) + b"\x00")
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=8).filter(lambda s: "\x00" not in s),
+        st.none() | st.booleans()
+        | st.integers(-(2**63), 2**63 - 1)
+        | st.floats(allow_nan=False)
+        | st.text(max_size=20),
+        max_size=6))
+    def test_property_roundtrip(self, doc):
+        assert bson.decode(bson.encode(doc)) == doc
+
+
+class TestBsonLookup:
+    def test_top_level(self):
+        buf = bson.encode(DOC)
+        assert bson.lookup(buf, KeyPath.parse("id")) == (True, 5)
+        assert bson.lookup(buf, KeyPath.parse("price")) == (True, 19.99)
+
+    def test_nested(self):
+        buf = bson.encode(DOC)
+        assert bson.lookup(buf, KeyPath.parse("meta.depth.level")) == (True, 3)
+        assert bson.lookup(buf, KeyPath.parse("tags[1]")) == (True, "b")
+
+    def test_missing(self):
+        buf = bson.encode(DOC)
+        assert bson.lookup(buf, KeyPath.parse("nope")) == (False, None)
+        assert bson.lookup(buf, KeyPath.parse("id.sub")) == (False, None)
+        assert bson.lookup(buf, KeyPath.parse("tags[9]")) == (False, None)
+
+    def test_null_value_found(self):
+        buf = bson.encode(DOC)
+        assert bson.lookup(buf, KeyPath.parse("gone")) == (True, None)
+
+
+class TestCborRoundTrip:
+    def test_document(self):
+        assert cbor.decode(cbor.encode(DOC)) == DOC
+
+    def test_scalars(self):
+        for value in (None, True, False, 0, 23, 24, 255, 256, 65536,
+                      -1, -25, 2**32, "text", 1.5, math.pi):
+            assert cbor.decode(cbor.encode(value)) == value
+
+    def test_float_narrowing(self):
+        assert len(cbor.encode(1.5)) == 3       # half precision
+        assert len(cbor.encode(math.pi)) == 9   # full double
+
+    def test_arrays(self):
+        assert cbor.decode(cbor.encode([1, [2, [3]]])) == [1, [2, [3]]]
+
+    def test_infinity(self):
+        assert cbor.decode(cbor.encode(float("inf"))) == float("inf")
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(JsonbEncodeError):
+            cbor.encode({"x": object()})
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(JsonbDecodeError):
+            cbor.decode(cbor.encode(1) + b"\x00")
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.recursive(
+        st.none() | st.booleans()
+        | st.integers(-(2**60), 2**60)
+        | st.floats(allow_nan=False) | st.text(max_size=15),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=6), children, max_size=4),
+        max_leaves=15))
+    def test_property_roundtrip(self, value):
+        assert cbor.decode(cbor.encode(value)) == value
+
+
+class TestCborLookup:
+    def test_nested_lookup(self):
+        buf = cbor.encode(DOC)
+        assert cbor.lookup(buf, KeyPath.parse("meta.depth.level")) == (True, 3)
+        assert cbor.lookup(buf, KeyPath.parse("tags[0]")) == (True, "a")
+
+    def test_missing(self):
+        buf = cbor.encode(DOC)
+        assert cbor.lookup(buf, KeyPath.parse("zzz")) == (False, None)
+        assert cbor.lookup(buf, KeyPath.parse("tags[5]")) == (False, None)
+
+    def test_lookup_in_array_root(self):
+        buf = cbor.encode([10, 20, 30])
+        assert cbor.lookup(buf, KeyPath.parse("[2]")) == (True, 30)
+
+
+class TestFormatSizes:
+    def test_cbor_smallest(self):
+        """Figure 19's shape: CBOR <= JSONB <= BSON on typical docs."""
+        from repro import jsonb
+        doc = {"statuses": [{"id": i, "text": "hello", "ok": True}
+                            for i in range(100)]}
+        sizes = {"cbor": len(cbor.encode(doc)),
+                 "jsonb": len(jsonb.encode(doc)),
+                 "bson": len(bson.encode(doc))}
+        assert sizes["cbor"] <= sizes["jsonb"] <= sizes["bson"]

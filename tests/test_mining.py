@@ -1,0 +1,213 @@
+"""Tests for FPGrowth itemset mining and the item dictionary."""
+
+import math
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.jsonpath import KeyPath
+from repro.core.types import JsonType
+from repro.errors import MiningError
+from repro.mining import (
+    FPGrowth,
+    ItemDictionary,
+    best_match,
+    closed_itemsets,
+    encode_documents,
+    max_itemset_size,
+    maximal_itemsets,
+)
+
+
+def brute_force(transactions, min_count, max_size=None):
+    """Reference miner: enumerate all subsets (exponential, small inputs)."""
+    items = sorted({i for t in transactions for i in t})
+    result = {}
+    limit = max_size or len(items)
+    for size in range(1, limit + 1):
+        for combo in combinations(items, size):
+            itemset = frozenset(combo)
+            support = sum(1 for t in transactions if itemset <= set(t))
+            if support >= min_count:
+                result[itemset] = support
+    return result
+
+
+class TestMaxItemsetSize:
+    def test_equation_one(self):
+        # n=5, budget covers sizes 1..2: C(5,1)+C(5,2)=15 <= 20 < 15+C(5,3)=25
+        assert max_itemset_size(5, 20) == 2
+        assert max_itemset_size(5, 14) == 1
+        assert max_itemset_size(5, 2**5) == 5
+
+    def test_always_at_least_one(self):
+        assert max_itemset_size(100, 1) == 1
+
+    def test_zero_items(self):
+        assert max_itemset_size(0, 100) == 0
+
+    def test_bounded_by_powerset(self):
+        n, budget = 6, 10**9
+        assert max_itemset_size(n, budget) == n
+        total = sum(math.comb(n, i) for i in range(1, n + 1))
+        assert total == 2**n - 1
+
+
+class TestFPGrowth:
+    def test_single_transaction(self):
+        result = FPGrowth(min_count=1).mine([[1, 2]])
+        assert result == {frozenset({1}): 1, frozenset({2}): 1,
+                          frozenset({1, 2}): 1}
+
+    def test_empty(self):
+        assert FPGrowth(min_count=1).mine([]) == {}
+        assert FPGrowth(min_count=1).mine([[]]) == {}
+
+    def test_infrequent_items_dropped(self):
+        result = FPGrowth(min_count=2).mine([[1, 2], [1, 3]])
+        assert result == {frozenset({1}): 2}
+
+    def test_matches_brute_force(self):
+        transactions = [
+            [1, 2, 3], [1, 2], [2, 3], [1, 2, 3, 4], [4], [1, 3],
+            [2, 3, 4], [1, 2, 3],
+        ]
+        for min_count in (1, 2, 3, 4):
+            got = FPGrowth(min_count=min_count, budget=10**6).mine(transactions)
+            assert got == brute_force(transactions, min_count)
+
+    def test_paper_tile2_example(self):
+        """Section 3.1: tile #2 of Figure 2, threshold 60% of 4 tuples.
+
+        Items: i=0, c=1, t=2, u_i=3, r=4, g_l=5.  Tuples 5,7,8 have all
+        six; tuple 6 lacks g_l.  The miner must find the two maximum
+        itemsets ({i,c,t,u_i,r}, 4) and ({i,c,t,u_i,r,g_l}, 3).
+        """
+        transactions = [
+            [0, 1, 2, 3, 4, 5],
+            [0, 1, 2, 3, 4],
+            [0, 1, 2, 3, 4, 5],
+            [0, 1, 2, 3, 4, 5],
+        ]
+        result = FPGrowth(min_count=3, budget=10**6).mine(transactions)
+        closed = closed_itemsets(result)
+        assert closed == {
+            frozenset({0, 1, 2, 3, 4}): 4,
+            frozenset({0, 1, 2, 3, 4, 5}): 3,
+        }
+        # union of the maximum itemsets -> extraction of all 6 paths
+        union = frozenset().union(*closed)
+        assert union == frozenset(range(6))
+        # the strictly-maximal variant keeps only the largest set
+        assert maximal_itemsets(result) == {frozenset(range(6)): 3}
+
+    def test_budget_limits_output_count(self):
+        transactions = [list(range(12))] * 5
+        result = FPGrowth(min_count=1, budget=50).mine(transactions)
+        assert 0 < len(result) <= 50
+
+    def test_budget_limits_itemset_size(self):
+        transactions = [list(range(10))] * 4
+        budget = 55  # C(10,1)=10, +C(10,2)=55 -> k=2
+        result = FPGrowth(min_count=1, budget=budget).mine(transactions)
+        assert max(len(s) for s in result) <= 2
+
+    def test_smaller_itemsets_mined_first(self):
+        transactions = [list(range(8))] * 3
+        result = FPGrowth(min_count=1, budget=8).mine(transactions)
+        assert all(len(s) == 1 for s in result)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MiningError):
+            FPGrowth(min_count=0)
+        with pytest.raises(MiningError):
+            FPGrowth(min_count=1, budget=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.lists(st.integers(0, 7), max_size=6), max_size=12),
+           st.integers(1, 4))
+    def test_property_matches_brute_force(self, transactions, min_count):
+        got = FPGrowth(min_count=min_count, budget=10**6).mine(transactions)
+        assert got == brute_force(transactions, min_count)
+
+
+class TestMaximalItemsets:
+    def test_removes_subsets(self):
+        frequent = {frozenset({1}): 5, frozenset({1, 2}): 4, frozenset({3}): 2}
+        maximal = maximal_itemsets(frequent)
+        assert set(maximal) == {frozenset({1, 2}), frozenset({3})}
+
+    def test_empty(self):
+        assert maximal_itemsets({}) == {}
+
+
+class TestBestMatch:
+    def test_largest_overlap_wins(self):
+        sets = [frozenset({1, 2}), frozenset({1, 2, 3})]
+        assert best_match(frozenset({1, 2, 3, 4}), sets) == frozenset({1, 2, 3})
+
+    def test_tie_resolved_by_min_item_id_sum(self):
+        sets = [frozenset({1, 9}), frozenset({1, 2})]
+        # overlap with {1} is 1 for both, same size: min sum wins -> {1,2}
+        assert best_match(frozenset({1}), sets) == frozenset({1, 2})
+
+    def test_no_overlap_returns_none(self):
+        assert best_match(frozenset({9}), [frozenset({1, 2})]) is None
+
+    def test_deterministic(self):
+        sets = [frozenset({2, 3}), frozenset({1, 4})]
+        picks = {best_match(frozenset({1, 2, 3, 4}), sets) for _ in range(10)}
+        assert len(picks) == 1
+
+
+class TestItemDictionary:
+    def test_dense_ids(self):
+        dictionary = ItemDictionary()
+        a = dictionary.encode((KeyPath.parse("id"), JsonType.INT))
+        b = dictionary.encode((KeyPath.parse("text"), JsonType.STRING))
+        assert (a, b) == (0, 1)
+        assert dictionary.decode(0) == (KeyPath.parse("id"), JsonType.INT)
+
+    def test_counts_occurrences(self):
+        dictionary = ItemDictionary()
+        item = (KeyPath.parse("id"), JsonType.INT)
+        for _ in range(3):
+            dictionary.encode(item)
+        assert dictionary.counts[dictionary.lookup(item)] == 3
+
+    def test_type_distinguishes_items(self):
+        dictionary = ItemDictionary()
+        a = dictionary.encode((KeyPath.parse("v"), JsonType.INT))
+        b = dictionary.encode((KeyPath.parse("v"), JsonType.FLOAT))
+        assert a != b
+
+    def test_key_counts_merges_types(self):
+        dictionary = ItemDictionary()
+        dictionary.encode((KeyPath.parse("v"), JsonType.INT))
+        dictionary.encode((KeyPath.parse("v"), JsonType.FLOAT))
+        assert dictionary.key_counts() == {"v": 2}
+
+
+class TestEncodeDocuments:
+    def test_figure2_tile2(self):
+        documents = [
+            {"id": 5, "create": "x1/10", "text": "b", "user": {"id": 7},
+             "replies": 3, "geo": {"lat": 1.9}},
+            {"id": 6, "create": "x1/11", "text": "c", "user": {"id": 1},
+             "replies": 2, "geo": None},
+            {"id": 7, "create": "x1/12", "text": "d", "user": {"id": 3},
+             "replies": 0, "geo": {"lat": 2.7}},
+            {"id": 8, "create": "x1/13", "text": "x", "user": {"id": 3},
+             "replies": 1, "geo": {"lat": 3.5}},
+        ]
+        dictionary, transactions = encode_documents(documents)
+        assert len(transactions) == 4
+        item = (KeyPath.parse("geo.lat"), JsonType.FLOAT)
+        assert item in dictionary
+        lat_id = dictionary.lookup(item)
+        assert sum(lat_id in t for t in transactions) == 3
+        # tuple 6's geo:null becomes a (geo, NULL) item, not geo.lat
+        null_item = (KeyPath.parse("geo"), JsonType.NULL)
+        assert null_item in dictionary

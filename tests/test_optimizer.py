@@ -1,0 +1,166 @@
+"""Tests for the cost-based optimizer: join ordering, cardinality
+estimation, skip-path derivation (Section 4.6 / 4.8)."""
+
+import pytest
+
+from repro import Database, ExtractionConfig, QueryOptions, StorageFormat
+
+CONFIG = ExtractionConfig(tile_size=64, partition_size=2)
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database(config=CONFIG)
+    # a big fact table and two small dimensions
+    facts = [{"f_id": i, "f_dim1": i % 20, "f_dim2": i % 5,
+              "f_value": float(i)} for i in range(2000)]
+    dim1 = [{"d1_id": i, "d1_name": f"d1-{i}", "d1_group": i % 4}
+            for i in range(20)]
+    dim2 = [{"d2_id": i, "d2_name": f"d2-{i}"} for i in range(5)]
+    database.load_table("facts", facts)
+    database.load_table("dim1", dim1)
+    database.load_table("dim2", dim2)
+    return database
+
+
+THREE_WAY = """
+select count(*) as n
+from dim2 b, facts f, dim1 a
+where f.data->>'f_dim1'::int = a.data->>'d1_id'::int
+  and f.data->>'f_dim2'::int = b.data->>'d2_id'::int
+  and a.data->>'d1_group'::int = 0
+"""
+
+
+class TestJoinOrdering:
+    def test_dp_starts_with_filtered_small_table(self, db):
+        result = db.sql(THREE_WAY)
+        # the filtered dim1 (5 rows) should come before the 2000-row
+        # fact table in the chosen order
+        order = result.join_order
+        assert order.index("a") < order.index("f")
+
+    def test_syntactic_order_without_statistics(self, db):
+        result = db.sql(THREE_WAY, QueryOptions(use_statistics=False))
+        assert result.join_order == ["b", "f", "a"]  # FROM-clause order
+
+    def test_results_identical_either_way(self, db):
+        smart = db.sql(THREE_WAY)
+        naive = db.sql(THREE_WAY, QueryOptions(use_statistics=False))
+        assert smart.rows == naive.rows
+
+    def test_single_table_no_order(self, db):
+        result = db.sql("select count(*) as n from facts f")
+        assert result.scalar() == 2000
+
+
+class TestCardinalityEstimation:
+    def test_scan_estimate_uses_equality_selectivity(self, db):
+        from repro.engine.optimizer import PlannedScan, Planner
+        from repro.sql.binder import Binder
+        from repro.sql.parser import parse
+
+        stmt = parse("select count(*) as n from facts f "
+                     "where f.data->>'f_dim1'::int = 3")
+        block = Binder(db.tables, QueryOptions()).bind(stmt)
+        planner = Planner(QueryOptions())
+        planned = {s.alias: PlannedScan(s) for s in block.sources}
+        _edges, _residuals = planner._classify_predicates(block, planned)
+        planner._derive_skip_paths(block, planned, _edges, _residuals)
+        estimate = planner._estimate_source(planned["f"])
+        # true cardinality is 100 (2000 / 20 distinct values)
+        assert 30 < estimate < 350
+
+    def test_presence_fraction_discounts_combined_relations(self):
+        database = Database(config=CONFIG)
+        docs = [{"kind_a": i} for i in range(900)] + \
+               [{"kind_b": i} for i in range(100)]
+        database.load_table("mixed", docs)
+        from repro.engine.optimizer import Planner, PlannedScan
+        from repro.sql.binder import Binder
+        from repro.sql.parser import parse
+
+        stmt = parse("select count(*) as n from mixed m "
+                     "where m.data->>'kind_b'::int >= 0")
+        block = Binder(database.tables, QueryOptions()).bind(stmt)
+        planner = Planner(QueryOptions())
+        planned = {s.alias: PlannedScan(s) for s in block.sources}
+        edges, residuals = planner._classify_predicates(block, planned)
+        planner._derive_skip_paths(block, planned, edges, residuals)
+        estimate = planner._estimate_source(planned["m"])
+        assert estimate < 300  # ~100 once presence is considered
+
+
+class TestSkipPathDerivation:
+    def _skip_paths(self, db, query):
+        from repro.engine.optimizer import Planner, PlannedScan
+        from repro.sql.binder import Binder
+        from repro.sql.parser import parse
+
+        block = Binder(db.tables, QueryOptions()).bind(parse(query))
+        planner = Planner(QueryOptions())
+        planned = {s.alias: PlannedScan(s) for s in block.sources}
+        edges, residuals = planner._classify_predicates(block, planned)
+        planner._derive_skip_paths(block, planned, edges, residuals)
+        return {alias: {str(p) for p in item.skip_paths}
+                for alias, item in planned.items()}
+
+    def test_predicates_reject(self, db):
+        paths = self._skip_paths(
+            db, "select count(*) as n from facts f "
+                "where f.data->>'f_value'::float > 1.0")
+        assert "f_value" in paths["f"]
+
+    def test_is_null_does_not_reject(self, db):
+        paths = self._skip_paths(
+            db, "select count(*) as n from facts f "
+                "where f.data->>'f_value' is null")
+        assert "f_value" not in paths["f"]
+
+    def test_or_rejects_only_common_refs(self, db):
+        paths = self._skip_paths(
+            db, "select count(*) as n from facts f "
+                "where f.data->>'f_value'::float > 1.0 "
+                "or f.data->>'f_id'::int = 1")
+        # neither side alone is required
+        assert paths["f"] == set()
+
+    def test_join_keys_reject(self, db):
+        paths = self._skip_paths(db, THREE_WAY)
+        assert "f_dim1" in paths["f"] and "f_dim2" in paths["f"]
+        assert "d1_id" in paths["a"]
+
+    def test_global_null_skipping_aggregate(self, db):
+        paths = self._skip_paths(
+            db, "select sum(f.data->>'f_value'::float) as s from facts f")
+        assert "f_value" in paths["f"]
+
+    def test_count_star_prevents_aggregate_skipping(self, db):
+        paths = self._skip_paths(
+            db, "select sum(f.data->>'f_value'::float) as s, "
+                "count(*) as n from facts f")
+        assert "f_value" not in paths["f"]
+
+    def test_group_by_prevents_aggregate_skipping(self, db):
+        paths = self._skip_paths(
+            db, "select f.data->>'f_dim2'::int as g, "
+                "sum(f.data->>'f_value'::float) as s "
+                "from facts f group by f.data->>'f_dim2'::int")
+        assert paths["f"] == set()
+
+
+class TestScalarSubqueryResolution:
+    def test_resolved_once_and_reused(self, db):
+        query = ("select count(*) as n from facts f where "
+                 "f.data->>'f_value'::float > "
+                 "(select avg(g.data->>'f_value'::float) from facts g)")
+        first = db.sql(query)
+        second = db.sql(query)
+        assert first.scalar() == second.scalar() == 1000
+
+    def test_empty_scalar_subquery_is_null(self, db):
+        result = db.sql(
+            "select count(*) as n from facts f where "
+            "f.data->>'f_value'::float > (select max(g.data->>'f_value'"
+            "::float) from facts g where g.data->>'f_id'::int < 0)")
+        assert result.scalar() == 0  # NULL comparison -> no rows

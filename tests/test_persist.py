@@ -1,0 +1,155 @@
+"""Tests for on-disk persistence (save/load of relations)."""
+
+import pytest
+
+from repro import Database, ExtractionConfig, StorageFormat
+from repro.core.jsonpath import KeyPath
+from repro.errors import StorageError
+from repro.storage.persist import (
+    load_relation,
+    open_database,
+    save_database,
+    save_relation,
+)
+
+CONFIG = ExtractionConfig(tile_size=32, partition_size=2)
+
+
+def tweets(n):
+    return [{"id": i, "create": "2020-06-01", "text": f"tweet {i}" * 3,
+             "user": {"id": i % 17}, "score": float(i) / 3}
+            for i in range(n)]
+
+
+class TestRelationRoundTrip:
+    @pytest.mark.parametrize("storage_format", [
+        StorageFormat.JSON, StorageFormat.JSONB, StorageFormat.SINEW,
+        StorageFormat.TILES,
+    ])
+    def test_documents_survive(self, tmp_path, storage_format):
+        db = Database(storage_format, CONFIG)
+        relation = db.load_table("t", tweets(100))
+        path = tmp_path / "t.jtile"
+        size = save_relation(relation, path)
+        assert size > 0
+        restored = load_relation(path)
+        assert restored.row_count == 100
+        assert list(restored.documents()) == list(relation.documents())
+
+    def test_extracted_columns_survive(self, tmp_path):
+        db = Database(StorageFormat.TILES, CONFIG)
+        relation = db.load_table("t", tweets(100))
+        save_relation(relation, tmp_path / "t.jtile")
+        restored = load_relation(tmp_path / "t.jtile")
+        for original, loaded in zip(relation.tiles, restored.tiles):
+            assert set(original.columns) == set(loaded.columns)
+            for path in original.columns:
+                assert original.column(path).to_list() == \
+                    loaded.column(path).to_list()
+                original_meta = original.header.columns[path]
+                loaded_meta = loaded.header.columns[path]
+                assert original_meta.column_type == loaded_meta.column_type
+                assert original_meta.is_datetime == loaded_meta.is_datetime
+
+    def test_statistics_survive(self, tmp_path):
+        db = Database(StorageFormat.TILES, CONFIG)
+        relation = db.load_table("t", tweets(100))
+        save_relation(relation, tmp_path / "t.jtile")
+        restored = load_relation(tmp_path / "t.jtile")
+        path = KeyPath.parse("user.id")
+        assert restored.statistics.row_count == 100
+        assert restored.statistics.key_count(path) == \
+            relation.statistics.key_count(path)
+        assert restored.statistics.distinct(path) == \
+            pytest.approx(relation.statistics.distinct(path))
+
+    def test_bloom_filters_survive(self, tmp_path):
+        db = Database(StorageFormat.TILES,
+                      ExtractionConfig(tile_size=32, threshold=0.9))
+        docs = tweets(64)
+        docs[0]["rare_key"] = 1  # below threshold -> bloom only
+        relation = db.load_table("t", docs)
+        save_relation(relation, tmp_path / "t.jtile")
+        restored = load_relation(tmp_path / "t.jtile")
+        assert restored.tiles[0].header.may_contain(KeyPath.parse("rare_key"))
+        assert not restored.tiles[0].header.may_contain(
+            KeyPath.parse("never_there"))
+
+    def test_tiles_star_children_survive(self, tmp_path):
+        db = Database(StorageFormat.TILES_STAR, CONFIG)
+        docs = [{"id": i, "tags": [{"v": j} for j in range(i % 6)]}
+                for i in range(64)]
+        relation = db.load_table("t", docs,
+                                 array_paths=[KeyPath.parse("tags")])
+        save_relation(relation, tmp_path / "t.jtile")
+        restored = load_relation(tmp_path / "t.jtile")
+        assert "tags" in restored.children
+        assert restored.children["tags"].row_count == \
+            relation.children["tags"].row_count
+
+    def test_pending_inserts_flushed_on_save(self, tmp_path):
+        db = Database(StorageFormat.TILES, CONFIG)
+        relation = db.load_table("t", tweets(32))
+        relation.insert({"id": 999})
+        save_relation(relation, tmp_path / "t.jtile")
+        restored = load_relation(tmp_path / "t.jtile")
+        assert restored.row_count == 33
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.jtile"
+        path.write_bytes(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(StorageError):
+            load_relation(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        db = Database(StorageFormat.TILES, CONFIG)
+        relation = db.load_table("t", tweets(50))
+        path = tmp_path / "t.jtile"
+        save_relation(relation, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 100])
+        with pytest.raises(StorageError):
+            load_relation(path)
+
+
+class TestDatabaseRoundTrip:
+    def test_queries_identical_after_reopen(self, tmp_path):
+        db = Database(StorageFormat.TILES, CONFIG)
+        db.load_table("tweets", tweets(120))
+        db.load_table("users", [{"uid": i, "name": f"u{i}"}
+                                for i in range(17)])
+        query = ("select u.data->>'name' as name, count(*) as n, "
+                 "sum(t.data->>'score'::float) as s "
+                 "from tweets t, users u "
+                 "where t.data->'user'->>'id'::int = u.data->>'uid'::int "
+                 "group by u.data->>'name' order by n desc, name limit 5")
+        expected = db.sql(query).rows
+
+        written = save_database(db, tmp_path / "store")
+        assert set(written) == {"tweets", "users"}
+        reopened = open_database(tmp_path / "store")
+        assert reopened.sql(query).rows == expected
+
+    def test_children_not_saved_twice(self, tmp_path):
+        db = Database(StorageFormat.TILES_STAR, CONFIG)
+        docs = [{"id": i, "tags": [{"v": j} for j in range(i % 6)]}
+                for i in range(64)]
+        db.load_table("t", docs, array_paths=[KeyPath.parse("tags")])
+        written = save_database(db, tmp_path / "store")
+        assert set(written) == {"t"}  # the child rides inside t.jtile
+        reopened = open_database(tmp_path / "store")
+        assert "t__tags" in reopened.tables
+
+    def test_skipping_still_works_after_reopen(self, tmp_path):
+        db = Database(StorageFormat.TILES, CONFIG)
+        docs = [{"kind_a": i} for i in range(64)] + \
+               [{"kind_b": i} for i in range(64)]
+        db.load_table("mixed", docs,
+                      config=ExtractionConfig(tile_size=32,
+                                              enable_reordering=False))
+        save_database(db, tmp_path / "store")
+        reopened = open_database(tmp_path / "store")
+        result = reopened.sql("select count(*) as n from mixed m "
+                              "where m.data->>'kind_b'::int >= 0")
+        assert result.scalar() == 64
+        assert result.counters.tiles_skipped >= 2

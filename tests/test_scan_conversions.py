@@ -1,0 +1,96 @@
+"""Focused tests for scan-time cast rewriting paths (Section 4.3/4.5)."""
+
+import pytest
+
+from repro.core.jsonpath import KeyPath
+from repro.core.types import ColumnType
+from repro.engine.batch import concat_batches
+from repro.engine.scan import AccessRequest, TableScan
+from repro.mining.dictionary import encode_documents, subset_dictionary
+from repro.storage import StorageFormat, load_documents
+from repro.tiles import ExtractionConfig
+
+CONFIG = ExtractionConfig(tile_size=32, partition_size=2)
+
+
+def scan_one(docs, path, target, as_text=True,
+             storage_format=StorageFormat.TILES):
+    relation = load_documents("t", docs, storage_format, CONFIG)
+    request = AccessRequest.make("t", KeyPath.parse(path), target, as_text)
+    scan = TableScan(relation, [request])
+    batch = concat_batches(list(scan.batches()))
+    return batch.column(request.name).to_list(), scan.counters
+
+
+class TestStoredToRequested:
+    DOCS = [{"i": 7, "f": 2.5, "b": True, "s": "hello", "d": "19.99",
+             "t": "2020-06-01"}] * 8
+
+    def test_int_to_bool(self):
+        values, counters = scan_one(self.DOCS, "i", ColumnType.BOOL)
+        assert values == [True] * 8
+        assert counters.fallback_lookups == 0
+
+    def test_int_to_string_is_cheap_cast(self):
+        values, counters = scan_one(self.DOCS, "i", ColumnType.STRING)
+        assert values == ["7"] * 8
+        assert counters.fallback_lookups == 0
+
+    def test_float_to_int(self):
+        values, counters = scan_one(self.DOCS, "f", ColumnType.INT64)
+        assert values == [2] * 8
+        assert counters.fallback_lookups == 0
+
+    def test_float_to_string(self):
+        values, _ = scan_one(self.DOCS, "f", ColumnType.STRING)
+        assert values == ["2.5"] * 8
+
+    def test_bool_to_int_and_string(self):
+        assert scan_one(self.DOCS, "b", ColumnType.INT64)[0] == [1] * 8
+        assert scan_one(self.DOCS, "b", ColumnType.STRING)[0] == ["true"] * 8
+
+    def test_string_to_int_parses(self):
+        docs = [{"s": str(i)} for i in range(8)]
+        values, counters = scan_one(docs, "s", ColumnType.INT64)
+        assert values == list(range(8))
+        assert counters.fallback_lookups == 0
+
+    def test_decimal_to_float_direct(self):
+        values, counters = scan_one(self.DOCS, "d", ColumnType.FLOAT64)
+        assert values == [19.99] * 8
+        assert counters.fallback_lookups == 0
+
+    def test_decimal_to_text_needs_fallback(self):
+        # exact numeric text cannot be rebuilt from float64 storage
+        values, counters = scan_one(self.DOCS, "d", ColumnType.STRING)
+        assert values == ["19.99"] * 8
+        assert counters.fallback_lookups == 8
+
+    def test_timestamp_to_int_needs_fallback(self):
+        values, counters = scan_one(self.DOCS, "t", ColumnType.INT64)
+        # date strings don't parse as ints even via the fallback
+        assert values == [None] * 8
+        assert counters.fallback_lookups == 8
+
+    def test_bool_column_refuses_float(self):
+        values, counters = scan_one(self.DOCS, "b", ColumnType.FLOAT64)
+        assert values == [1.0] * 8
+        assert counters.fallback_lookups == 8  # via JSONB typed getter
+
+
+class TestSubsetDictionary:
+    def test_local_ids_and_counts(self):
+        docs = [{"a": 1, "b": "x"}, {"a": 2}, {"b": "y"}]
+        parent, transactions = encode_documents(docs)
+        local, remapped = subset_dictionary(parent, transactions[1:])
+        assert len(remapped) == 2
+        # local counts reflect the slice only
+        from repro.core.types import JsonType
+        a_item = (KeyPath.parse("a"), JsonType.INT)
+        assert local.counts[local.lookup(a_item)] == 1
+
+    def test_items_preserved(self):
+        docs = [{"a": 1}, {"a": "text"}]
+        parent, transactions = encode_documents(docs)
+        local, _ = subset_dictionary(parent, transactions)
+        assert len(local) == len(parent)

@@ -1,0 +1,388 @@
+"""End-to-end SQL tests over small synthetic tables."""
+
+import pytest
+
+from repro import Database, ExtractionConfig, QueryOptions, StorageFormat
+from repro.errors import SqlBindError, SqlSyntaxError
+
+CONFIG = ExtractionConfig(tile_size=32, partition_size=2)
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database(config=CONFIG)
+    orders = [
+        {"o_id": i, "o_cust": i % 10, "o_total": float(i), "o_flag": i % 2 == 0,
+         "o_date": f"2020-{(i % 12) + 1:02d}-15", "o_note": f"note {i}"}
+        for i in range(200)
+    ]
+    customers = [
+        {"c_id": i, "c_name": f"Customer#{i}", "c_nation": i % 3,
+         "c_balance": str(round(100.5 + i, 2))}
+        for i in range(10)
+    ]
+    nations = [{"n_id": i, "n_name": name}
+               for i, name in enumerate(["FRANCE", "GERMANY", "JAPAN"])]
+    database.load_table("orders", orders)
+    database.load_table("customer", customers)
+    database.load_table("nation", nations)
+    return database
+
+
+class TestBasicSelect:
+    def test_count_star(self, db):
+        assert db.sql("select count(*) as n from orders o").scalar() == 200
+
+    def test_projection_with_casts(self, db):
+        result = db.sql(
+            "select o.data->>'o_id'::int as id, o.data->>'o_total'::float as t "
+            "from orders o where o.data->>'o_id'::int < 3 order by id"
+        )
+        assert result.rows == [(0, 0.0), (1, 1.0), (2, 2.0)]
+
+    def test_filter_equality(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o "
+            "where o.data->>'o_cust'::int = 3")
+        assert result.scalar() == 20
+
+    def test_filter_range_and_bool(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o "
+            "where o.data->>'o_id'::int >= 100 and o.data->>'o_flag'::bool = true")
+        assert result.scalar() == 50
+
+    def test_date_comparison(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o "
+            "where o.data->>'o_date'::date < date '2020-03-01'")
+        # months 1 and 2: i % 12 in {0, 1} -> 17 + 17
+        assert result.scalar() == 34
+
+    def test_interval_arithmetic(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o "
+            "where o.data->>'o_date'::date < date '2020-01-01' + interval '2' month")
+        assert result.scalar() == 34
+
+    def test_between(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o "
+            "where o.data->>'o_id'::int between 10 and 19")
+        assert result.scalar() == 10
+
+    def test_like(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o "
+            "where o.data->>'o_note' like 'note 1_'")
+        assert result.scalar() == 10
+
+    def test_in_list(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o "
+            "where o.data->>'o_cust'::int in (1, 2, 3)")
+        assert result.scalar() == 60
+
+    def test_is_null_semantics(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o "
+            "where o.data->>'missing_key' is null")
+        assert result.scalar() == 200
+
+    def test_limit_and_order(self, db):
+        result = db.sql(
+            "select o.data->>'o_id'::int as id from orders o "
+            "order by id desc limit 3")
+        assert result.column("id") == [199, 198, 197]
+
+    def test_distinct(self, db):
+        result = db.sql(
+            "select distinct o.data->>'o_cust'::int as c from orders o")
+        assert sorted(result.column("c")) == list(range(10))
+
+    def test_numeric_string_cast(self, db):
+        result = db.sql(
+            "select c.data->>'c_balance'::decimal as b from customer c "
+            "where c.data->>'c_id'::int = 0")
+        assert result.scalar() == pytest.approx(100.5)
+
+    def test_arithmetic_expressions(self, db):
+        result = db.sql(
+            "select sum(o.data->>'o_total'::float * (1 - 0.5)) as s "
+            "from orders o")
+        assert result.scalar() == pytest.approx(sum(range(200)) / 2)
+
+    def test_case_expression(self, db):
+        result = db.sql(
+            "select sum(case when o.data->>'o_flag'::bool = true then 1 "
+            "else 0 end) as evens from orders o")
+        assert result.scalar() == 100
+
+
+class TestGroupBy:
+    def test_group_by_with_aggregates(self, db):
+        result = db.sql(
+            "select o.data->>'o_cust'::int as cust, count(*) as n, "
+            "sum(o.data->>'o_total'::float) as total, "
+            "min(o.data->>'o_id'::int) as lo, max(o.data->>'o_id'::int) as hi "
+            "from orders o group by o.data->>'o_cust'::int order by cust")
+        assert len(result) == 10
+        assert result.rows[0][:2] == (0, 20)
+        assert result.rows[0][3] == 0 and result.rows[0][4] == 190
+
+    def test_having(self, db):
+        result = db.sql(
+            "select o.data->>'o_cust'::int as cust, sum(o.data->>'o_total'"
+            "::float) as s from orders o group by o.data->>'o_cust'::int "
+            "having sum(o.data->>'o_total'::float) > 2000 order by s desc")
+        expected = {cust: sum(i for i in range(200) if i % 10 == cust)
+                    for cust in range(10)}
+        kept = {cust for cust, total in expected.items() if total > 2000}
+        assert set(result.column("cust")) == kept
+
+    def test_avg_and_count_distinct(self, db):
+        result = db.sql(
+            "select avg(o.data->>'o_total'::float) as mean, "
+            "count(distinct o.data->>'o_cust'::int) as custs from orders o")
+        assert result.rows[0][0] == pytest.approx(99.5)
+        assert result.rows[0][1] == 10
+
+    def test_extract_year_group(self, db):
+        result = db.sql(
+            "select extract(year from o.data->>'o_date'::date) as y, "
+            "count(*) as n from orders o group by "
+            "extract(year from o.data->>'o_date'::date)")
+        assert result.rows == [(2020, 200)]
+
+
+class TestJoins:
+    def test_two_way_join(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o, customer c "
+            "where o.data->>'o_cust'::int = c.data->>'c_id'::int")
+        assert result.scalar() == 200
+
+    def test_three_way_join_with_group(self, db):
+        result = db.sql(
+            "select n.data->>'n_name' as nation, count(*) as cnt "
+            "from orders o, customer c, nation n "
+            "where o.data->>'o_cust'::int = c.data->>'c_id'::int "
+            "and c.data->>'c_nation'::int = n.data->>'n_id'::int "
+            "group by n.data->>'n_name' order by nation")
+        assert result.column("nation") == ["FRANCE", "GERMANY", "JAPAN"]
+        assert sum(result.column("cnt")) == 200
+
+    def test_explicit_inner_join(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o join customer c "
+            "on o.data->>'o_cust'::int = c.data->>'c_id'::int "
+            "where c.data->>'c_nation'::int = 0")
+        assert result.scalar() == 80  # customers 0,3,6,9 -> 20 orders each
+
+    def test_left_join_counts_empty_groups(self, db):
+        result = db.sql(
+            "select c.data->>'c_id'::int as cid, count(o.data->>'o_id'::int)"
+            " as n from customer c left join orders o on "
+            "o.data->>'o_cust'::int = c.data->>'c_id'::int and "
+            "o.data->>'o_id'::int < 0 "
+            "group by c.data->>'c_id'::int order by cid")
+        assert len(result) == 10
+        assert all(n == 0 for n in result.column("n"))
+
+    def test_join_order_uses_statistics(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o, customer c, nation n "
+            "where o.data->>'o_cust'::int = c.data->>'c_id'::int "
+            "and c.data->>'c_nation'::int = n.data->>'n_id'::int")
+        assert result.scalar() == 200
+        assert len(result.join_order) == 3
+
+
+class TestSubqueries:
+    def test_uncorrelated_scalar(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o where "
+            "o.data->>'o_total'::float > "
+            "(select avg(o2.data->>'o_total'::float) from orders o2)")
+        assert result.scalar() == 100
+
+    def test_in_subquery(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o where "
+            "o.data->>'o_cust'::int in (select c.data->>'c_id'::int "
+            "from customer c where c.data->>'c_nation'::int = 1)")
+        assert result.scalar() == 60  # customers 1,4,7
+
+    def test_not_in_subquery(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o where "
+            "o.data->>'o_cust'::int not in (select c.data->>'c_id'::int "
+            "from customer c where c.data->>'c_nation'::int = 1)")
+        assert result.scalar() == 140
+
+    def test_correlated_exists(self, db):
+        result = db.sql(
+            "select count(*) as n from customer c where exists ("
+            "select o.data->>'o_id' from orders o where "
+            "o.data->>'o_cust'::int = c.data->>'c_id'::int and "
+            "o.data->>'o_total'::float > 190)")
+        # orders 191..199 cover customers 1..9
+        assert result.scalar() == 9
+
+    def test_correlated_not_exists(self, db):
+        result = db.sql(
+            "select count(*) as n from customer c where not exists ("
+            "select o.data->>'o_id' from orders o where "
+            "o.data->>'o_cust'::int = c.data->>'c_id'::int and "
+            "o.data->>'o_total'::float > 190)")
+        assert result.scalar() == 1
+
+    def test_correlated_scalar_aggregate(self, db):
+        # orders above their customer's average total
+        result = db.sql(
+            "select count(*) as n from orders o where "
+            "o.data->>'o_total'::float > (select avg(o2.data->>'o_total'"
+            "::float) from orders o2 where o2.data->>'o_cust'::int = "
+            "o.data->>'o_cust'::int)")
+        assert result.scalar() == 100
+
+    def test_derived_table(self, db):
+        result = db.sql(
+            "select t.cust, t.total from (select o.data->>'o_cust'::int as "
+            "cust, sum(o.data->>'o_total'::float) as total from orders o "
+            "group by o.data->>'o_cust'::int) as t "
+            "where t.total > 2000 order by t.cust")
+        assert all(total > 2000 for total in result.column("total"))
+
+    def test_cte(self, db):
+        result = db.sql(
+            "with totals as (select o.data->>'o_cust'::int as cust, "
+            "sum(o.data->>'o_total'::float) as total from orders o "
+            "group by o.data->>'o_cust'::int) "
+            "select count(*) as n from totals t where t.total > 2000")
+        expected = sum(
+            1 for cust in range(10)
+            if sum(i for i in range(200) if i % 10 == cust) > 2000
+        )
+        assert result.scalar() == expected
+
+
+class TestFormatsAgree:
+    """The same query must return identical results on every storage
+    format — correctness of the whole fallback machinery."""
+
+    QUERY = (
+        "select o.data->>'o_cust'::int as cust, count(*) as n, "
+        "sum(o.data->>'o_total'::float) as total from orders o "
+        "where o.data->>'o_date'::date >= date '2020-06-01' "
+        "group by o.data->>'o_cust'::int order by cust"
+    )
+
+    @pytest.mark.parametrize("storage_format", list(StorageFormat))
+    def test_query_matches_tiles(self, storage_format):
+        orders = [
+            {"o_id": i, "o_cust": i % 10, "o_total": float(i),
+             "o_date": f"2020-{(i % 12) + 1:02d}-15"}
+            for i in range(200)
+        ]
+        reference_db = Database(config=CONFIG)
+        reference_db.load_table("orders", orders, StorageFormat.TILES)
+        expected = reference_db.sql(self.QUERY).rows
+
+        db = Database(config=CONFIG)
+        db.load_table("orders", orders, storage_format)
+        assert db.sql(self.QUERY).rows == expected
+
+
+class TestErrors:
+    def test_syntax_error(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("select from orders")
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SqlBindError):
+            db.sql("select count(*) as n from missing m")
+
+    def test_unknown_alias(self, db):
+        with pytest.raises(SqlBindError):
+            db.sql("select x.data->>'k' from orders o")
+
+    def test_order_by_must_be_selected(self, db):
+        with pytest.raises(SqlBindError):
+            db.sql("select count(*) as n from orders o "
+                   "group by o.data->>'o_cust' order by nope")
+
+
+class TestExplainAndOptions:
+    def test_explain_mentions_join_order(self, db):
+        text = db.explain(
+            "select count(*) as n from orders o, customer c where "
+            "o.data->>'o_cust'::int = c.data->>'c_id'::int")
+        assert "join order" in text
+
+    def test_no_statistics_mode_still_correct(self, db):
+        options = QueryOptions(use_statistics=False)
+        result = db.sql(
+            "select count(*) as n from orders o, customer c where "
+            "o.data->>'o_cust'::int = c.data->>'c_id'::int", options)
+        assert result.scalar() == 200
+
+    def test_no_cast_rewriting_still_correct(self, db):
+        options = QueryOptions(enable_cast_rewriting=False)
+        result = db.sql(
+            "select sum(o.data->>'o_total'::float) as s from orders o",
+            options)
+        assert result.scalar() == pytest.approx(sum(range(200)))
+
+    def test_skipping_counters_exposed(self, db):
+        result = db.sql("select count(*) as n from orders o "
+                        "where o.data->>'o_id'::int >= 0")
+        assert result.counters.tiles_total > 0
+
+
+class TestUnionAll:
+    def test_basic_union(self, db):
+        result = db.sql(
+            "select o.data->>'o_id'::int as id from orders o "
+            "where o.data->>'o_id'::int < 2 "
+            "union all "
+            "select c.data->>'c_id'::int as id from customer c "
+            "where c.data->>'c_id'::int < 2")
+        assert sorted(result.column("id")) == [0, 0, 1, 1]
+
+    def test_union_with_trailing_order_limit(self, db):
+        result = db.sql(
+            "select o.data->>'o_id'::int as v from orders o "
+            "union all "
+            "select c.data->>'c_id'::int as v from customer c "
+            "order by v desc limit 3")
+        assert result.column("v") == [199, 198, 197]
+
+    def test_union_column_names_from_first_branch(self, db):
+        result = db.sql(
+            "select o.data->>'o_id'::int as first_name from orders o "
+            "where o.data->>'o_id'::int = 0 "
+            "union all "
+            "select c.data->>'c_id'::int as other from customer c "
+            "where c.data->>'c_id'::int = 1")
+        assert result.columns == ["first_name"]
+        assert sorted(result.column("first_name")) == [0, 1]
+
+    def test_union_with_aggregates_per_branch(self, db):
+        result = db.sql(
+            "select 'orders' as src, count(*) as n from orders o "
+            "union all "
+            "select 'customers' as src, count(*) as n from customer c")
+        assert sorted(result.rows) == [("customers", 10), ("orders", 200)]
+
+    def test_three_way_union(self, db):
+        result = db.sql(
+            "select count(*) as n from orders o "
+            "union all select count(*) as n from customer c "
+            "union all select count(*) as n from nation x")
+        assert sorted(result.column("n")) == [3, 10, 200]
+
+    def test_union_arity_mismatch_rejected(self, db):
+        with pytest.raises(SqlBindError):
+            db.sql("select 1 as a from orders o union all "
+                   "select 1 as a, 2 as b from customer c")

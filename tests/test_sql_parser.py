@@ -1,0 +1,170 @@
+"""Direct tests of the SQL lexer and parser (AST construction)."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+
+
+class TestLexer:
+    def test_operators(self):
+        kinds = [(t.kind, t.value) for t in tokenize("->> -> :: <= <> !=")]
+        assert kinds[:-1] == [("op", "->>"), ("op", "->"), ("op", "::"),
+                              ("op", "<="), ("op", "<>"), ("op", "!=")]
+
+    def test_string_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("select -- a comment\n 1")
+        assert [t.kind for t in tokens] == ["keyword", "number", "eof"]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT From WHERE")
+        assert all(t.kind == "keyword" for t in tokens[:-1])
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select ?")
+
+
+class TestParserExpressions:
+    def _where(self, condition):
+        stmt = parse(f"select 1 as x from t where {condition}")
+        return stmt.where
+
+    def test_json_access_chain(self):
+        expr = self._where("t.data->'user'->>'id' = '5'")
+        assert isinstance(expr, ast.Binary)
+        access = expr.left
+        assert isinstance(access, ast.JsonAccess)
+        assert access.as_text and access.step == "id"
+        inner = access.base
+        assert isinstance(inner, ast.JsonAccess)
+        assert not inner.as_text and inner.step == "user"
+
+    def test_array_index_access(self):
+        expr = self._where("t.data->'tags'->0 is not null")
+        assert isinstance(expr, ast.IsNullExpr) and expr.negated
+        assert expr.operand.step == 0
+
+    def test_cast_binds_tighter_than_comparison(self):
+        expr = self._where("t.data->>'v'::int < 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "<"
+        assert isinstance(expr.left, ast.CastExpr)
+
+    def test_precedence_and_or(self):
+        expr = self._where("a = 1 or b = 2 and c = 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not_like(self):
+        expr = self._where("t.data->>'c' not like '%x%'")
+        assert isinstance(expr, ast.LikeExpr) and expr.negated
+
+    def test_between(self):
+        expr = self._where("v between 1 and 2")
+        assert isinstance(expr, ast.BetweenExpr)
+
+    def test_in_list_and_subquery(self):
+        in_list = self._where("v in (1, 2, 3)")
+        assert isinstance(in_list, ast.InListExpr)
+        in_sub = self._where("v in (select 1 as a from u)")
+        assert isinstance(in_sub, ast.InSubquery)
+
+    def test_exists(self):
+        expr = self._where("exists (select 1 as a from u)")
+        assert isinstance(expr, ast.ExistsExpr)
+
+    def test_case(self):
+        stmt = parse("select case when a = 1 then 2 else 3 end as c from t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.CaseExpr)
+        assert len(expr.branches) == 1 and expr.default is not None
+
+    def test_date_and_interval(self):
+        expr = self._where("d < date '1994-01-01' + interval '3' month")
+        assert isinstance(expr.right, ast.Binary)
+        assert isinstance(expr.right.left, ast.DateLit)
+        assert expr.right.right == ast.IntervalLit(3, "month")
+
+    def test_extract_and_substring(self):
+        stmt = parse("select extract(year from d) as y, "
+                     "substring(s from 1 for 2) as c from t")
+        assert isinstance(stmt.items[0].expr, ast.ExtractExpr)
+        assert isinstance(stmt.items[1].expr, ast.SubstringExpr)
+
+    def test_aggregates(self):
+        stmt = parse("select count(*) as a, count(distinct x) as b, "
+                     "sum(v) as c from t")
+        assert stmt.items[0].expr.star
+        assert stmt.items[1].expr.distinct
+        assert stmt.items[2].expr.name == "sum"
+
+    def test_unary_minus(self):
+        stmt = parse("select -3 as v from t")
+        assert stmt.items[0].expr == ast.Unary("-", ast.NumberLit(3))
+
+
+class TestParserStatements:
+    def test_from_list_and_aliases(self):
+        stmt = parse("select 1 as x from orders o, customer as c")
+        assert [t.alias for t in stmt.from_tables] == ["o", "c"]
+
+    def test_left_join(self):
+        stmt = parse("select 1 as x from a left outer join b on a.k = b.k")
+        assert len(stmt.left_joins) == 1
+        assert stmt.left_joins[0].right.alias == "b"
+
+    def test_inner_join_folds_to_where(self):
+        stmt = parse("select 1 as x from a join b on a.k = b.k "
+                     "where a.v = 1")
+        assert stmt.left_joins == ()
+        # both the join condition and the filter end up in WHERE
+        assert isinstance(stmt.where, ast.Binary) and stmt.where.op == "and"
+
+    def test_group_having_order_limit(self):
+        stmt = parse("select g as g, count(*) as n from t group by g "
+                     "having count(*) > 1 order by n desc, 1 limit 7")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0] == ast.OrderItem("n", True)
+        assert stmt.order_by[1] == ast.OrderItem(1, False)
+        assert stmt.limit == 7
+
+    def test_derived_table(self):
+        stmt = parse("select d.x as x from (select 1 as x from t) as d")
+        assert stmt.from_tables[0].subquery is not None
+        assert stmt.from_tables[0].alias == "d"
+
+    def test_cte(self):
+        stmt = parse("with v as (select 1 as x from t) "
+                     "select v.x as x from v")
+        assert stmt.ctes[0][0] == "v"
+
+    def test_distinct(self):
+        assert parse("select distinct x as x from t").distinct
+
+    def test_nested_subquery_inner_joins_stay_scoped(self):
+        stmt = parse(
+            "select 1 as x from a where a.k in "
+            "(select b.k as k from b join c on b.i = c.i where b.v = 1)")
+        # outer where holds only the IN; the inner join condition lives
+        # in the subquery's where
+        assert isinstance(stmt.where, ast.InSubquery)
+        inner = stmt.where.query
+        assert inner.where is not None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select 1 as x from t t2 t3")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select 1 as x")
+
+    def test_semicolon_allowed(self):
+        assert parse("select 1 as x from t;") is not None

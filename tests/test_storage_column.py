@@ -1,0 +1,127 @@
+"""Tests for typed column vectors and the LZ4 codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import ColumnType
+from repro.errors import StorageError
+from repro.storage.column import ColumnBuilder, ColumnVector
+from repro.storage.compression import compress, compression_ratio, decompress
+
+
+class TestColumnBuilder:
+    def test_int_column(self):
+        vector = ColumnVector.from_values(ColumnType.INT64, [1, None, 3])
+        assert vector.to_list() == [1, None, 3]
+        assert vector.data.dtype == np.int64
+        assert vector.non_null_count() == 2
+
+    def test_float_column(self):
+        vector = ColumnVector.from_values(ColumnType.FLOAT64, [1.5, None])
+        assert vector.to_list() == [1.5, None]
+
+    def test_string_column(self):
+        vector = ColumnVector.from_values(ColumnType.STRING, ["a", None, "c"])
+        assert vector.to_list() == ["a", None, "c"]
+
+    def test_bool_column(self):
+        vector = ColumnVector.from_values(ColumnType.BOOL, [True, False, None])
+        assert vector.to_list() == [True, False, None]
+
+    def test_timestamp_column(self):
+        vector = ColumnVector.from_values(ColumnType.TIMESTAMP, [10**15, None])
+        assert vector.to_list() == [10**15, None]
+
+    def test_decimal_coerces_to_float(self):
+        vector = ColumnVector.from_values(ColumnType.DECIMAL, ["19.99", 3])
+        assert vector.to_list() == [19.99, 3.0]
+
+    def test_empty_column(self):
+        vector = ColumnBuilder(ColumnType.INT64).finish()
+        assert len(vector) == 0
+        assert vector.to_list() == []
+
+    def test_all_null(self):
+        vector = ColumnVector.all_null(ColumnType.STRING, 4)
+        assert vector.to_list() == [None] * 4
+
+
+class TestColumnVectorOps:
+    def test_take(self):
+        vector = ColumnVector.from_values(ColumnType.INT64, [10, 20, None, 40])
+        taken = vector.take(np.array([3, 0]))
+        assert taken.to_list() == [40, 10]
+
+    def test_filter(self):
+        vector = ColumnVector.from_values(ColumnType.INT64, [10, 20, None, 40])
+        kept = vector.filter(np.array([True, False, True, False]))
+        assert kept.to_list() == [10, None]
+
+    def test_null_mask_length_checked(self):
+        with pytest.raises(StorageError):
+            ColumnVector(ColumnType.INT64, np.zeros(3, dtype=np.int64),
+                         np.zeros(2, dtype=bool))
+
+    def test_nbytes_counts_strings(self):
+        small = ColumnVector.from_values(ColumnType.STRING, ["a"])
+        big = ColumnVector.from_values(ColumnType.STRING, ["a" * 1000])
+        assert big.nbytes() > small.nbytes()
+
+    def test_raw_bytes_nonempty(self):
+        vector = ColumnVector.from_values(ColumnType.INT64, list(range(100)))
+        assert len(vector.raw_bytes()) >= 800
+
+
+class TestLz4:
+    def test_empty(self):
+        assert decompress(compress(b"")) == b""
+
+    def test_short_incompressible(self):
+        data = b"abcdefghijklm"
+        assert decompress(compress(data)) == data
+
+    def test_repetitive_compresses(self):
+        data = b"abcd" * 1000
+        block = compress(data)
+        assert len(block) < len(data) / 10
+        assert decompress(block) == data
+
+    def test_overlapping_match_rle(self):
+        data = b"a" * 500
+        assert decompress(compress(data)) == data
+
+    def test_long_literals(self):
+        import random
+        rng = random.Random(7)
+        data = bytes(rng.randrange(256) for _ in range(5000))
+        assert decompress(compress(data)) == data
+
+    def test_columnar_data_ratio(self):
+        # int64 columns with small values compress well (Table 6's 2-3x)
+        column = ColumnVector.from_values(ColumnType.INT64,
+                                          [i % 50 for i in range(5000)])
+        assert compression_ratio(column.raw_bytes()) > 2.0
+
+    def test_corrupt_block_raises(self):
+        block = compress(b"hello world, hello world, hello world")
+        with pytest.raises(StorageError):
+            decompress(block[:3])
+
+    def test_bad_offset_raises(self):
+        # token: 0 literals + match, offset 0 is invalid
+        with pytest.raises(StorageError):
+            decompress(bytes([0x01, 0x00, 0x00]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=4000))
+    def test_property_roundtrip(self, data):
+        assert decompress(compress(data)) == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.sampled_from([b"alpha", b"beta", b"gamma", b"\x00" * 8]),
+                    max_size=200))
+    def test_property_roundtrip_repetitive(self, chunks):
+        data = b"".join(chunks)
+        assert decompress(compress(data)) == data

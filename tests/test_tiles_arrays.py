@@ -1,0 +1,94 @@
+"""Tests for high-cardinality array extraction (Tiles-*, Section 3.5)."""
+
+from repro.core.jsonpath import KeyPath
+from repro.tiles.arrays import (
+    INDEX_COLUMN,
+    PARENT_COLUMN,
+    detect_high_cardinality_arrays,
+    extract_array_documents,
+    strip_extracted_arrays,
+)
+
+
+def tweet(i, hashtags):
+    return {
+        "id": i,
+        "text": "hello",
+        "entities": {
+            "hashtags": [{"text": tag} for tag in hashtags],
+            "urls": [],
+        },
+    }
+
+
+class TestDetection:
+    def test_detects_varying_arrays(self):
+        documents = [tweet(i, [f"#t{j}" for j in range(i % 12)])
+                     for i in range(100)]
+        detections = detect_high_cardinality_arrays(documents)
+        paths = {str(d.path) for d in detections}
+        assert "entities.hashtags" in paths
+
+    def test_small_fixed_arrays_not_flagged(self):
+        documents = [{"pair": [1, 2]} for _ in range(50)]
+        detections = detect_high_cardinality_arrays(documents)
+        assert all(str(d.path) != "pair" for d in detections)
+
+    def test_rare_arrays_filtered_by_presence(self):
+        documents = [{"id": i} for i in range(99)] + [
+            {"id": 99, "rare": list(range(50))}
+        ]
+        detections = detect_high_cardinality_arrays(documents, min_presence=0.1)
+        assert all(str(d.path) != "rare" for d in detections)
+
+    def test_detection_metadata(self):
+        documents = [{"a": list(range(10))} for _ in range(10)]
+        detections = detect_high_cardinality_arrays(documents)
+        [detection] = [d for d in detections if str(d.path) == "a"]
+        assert detection.presence == 1.0
+        assert detection.mean_length == 10.0
+        assert detection.max_length == 10
+
+
+class TestExtraction:
+    def test_object_elements_flattened(self):
+        documents = [tweet(0, ["#a", "#b"]), tweet(1, []), tweet(2, ["#c"])]
+        children = extract_array_documents(
+            documents, KeyPath.parse("entities.hashtags"), first_row=100
+        )
+        assert len(children) == 3
+        assert children[0] == {PARENT_COLUMN: 100, INDEX_COLUMN: 0, "text": "#a"}
+        assert children[1] == {PARENT_COLUMN: 100, INDEX_COLUMN: 1, "text": "#b"}
+        assert children[2] == {PARENT_COLUMN: 102, INDEX_COLUMN: 0, "text": "#c"}
+
+    def test_scalar_elements_wrapped(self):
+        documents = [{"tags": ["x", "y"]}]
+        children = extract_array_documents(documents, KeyPath.parse("tags"))
+        assert children[0]["value"] == "x"
+        assert children[1]["value"] == "y"
+
+    def test_missing_arrays_skipped(self):
+        documents = [{"id": 1}, {"tags": "not-an-array"}]
+        assert extract_array_documents(documents, KeyPath.parse("tags")) == []
+
+
+class TestStrip:
+    def test_replaces_array_with_count(self):
+        document = tweet(0, ["#a", "#b"])
+        stripped = strip_extracted_arrays(
+            document, [KeyPath.parse("entities.hashtags")]
+        )
+        assert "hashtags" not in stripped["entities"]
+        assert stripped["entities"]["hashtags_count"] == 2
+        # untouched parts survive
+        assert stripped["id"] == 0
+        assert stripped["entities"]["urls"] == []
+
+    def test_original_not_mutated(self):
+        document = tweet(0, ["#a"])
+        strip_extracted_arrays(document, [KeyPath.parse("entities.hashtags")])
+        assert document["entities"]["hashtags"] == [{"text": "#a"}]
+
+    def test_noop_without_paths(self):
+        document = tweet(0, ["#a"])
+        assert strip_extracted_arrays(document, []) is document

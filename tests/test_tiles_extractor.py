@@ -1,0 +1,189 @@
+"""Tests for tile extraction (Section 3.1/3.4/3.5/4.9)."""
+
+import pytest
+
+from repro.core.datetimes import date_literal
+from repro.core.jsonpath import KeyPath
+from repro.core.types import ColumnType, JsonType
+from repro.jsonb import encode
+from repro.tiles import ExtractionConfig, build_tile
+
+
+def make_tile(documents, **config_kwargs):
+    config = ExtractionConfig(**config_kwargs)
+    jsonb_rows = [encode(doc) for doc in documents]
+    return build_tile(documents, jsonb_rows, config, tile_number=0, first_row=0)
+
+
+TILE2_DOCS = [
+    {"id": 5, "create": "2010-01-01", "text": "b", "user": {"id": 7},
+     "replies": 3, "geo": {"lat": 1.9}},
+    {"id": 6, "create": "2011-01-01", "text": "c", "user": {"id": 1},
+     "replies": 2, "geo": None},
+    {"id": 7, "create": "2012-01-01", "text": "d", "user": {"id": 3},
+     "replies": 0, "geo": {"lat": 2.7}},
+    {"id": 8, "create": "2013-01-01", "text": "x", "user": {"id": 3},
+     "replies": 1, "geo": {"lat": 3.5}},
+]
+
+
+class TestPaperExample:
+    """Figure 2 / Section 3.1: tile #2 with threshold 60%."""
+
+    def test_extracted_paths(self):
+        tile = make_tile(TILE2_DOCS, threshold=0.6)
+        extracted = {str(path) for path in tile.columns}
+        assert extracted == {"id", "create", "text", "user.id", "replies",
+                             "geo.lat"}
+
+    def test_geo_lat_column_values(self):
+        tile = make_tile(TILE2_DOCS, threshold=0.6)
+        lat = tile.column(KeyPath.parse("geo.lat"))
+        assert lat.to_list() == [1.9, None, 2.7, 3.5]
+        assert tile.header.extracted(KeyPath.parse("geo.lat")).nullable
+
+    def test_types_inferred(self):
+        tile = make_tile(TILE2_DOCS, threshold=0.6)
+        header = tile.header
+        assert header.extracted(KeyPath.parse("id")).column_type == ColumnType.INT64
+        assert header.extracted(KeyPath.parse("replies")).column_type == ColumnType.INT64
+        assert header.extracted(KeyPath.parse("text")).column_type == ColumnType.STRING
+        assert header.extracted(KeyPath.parse("geo.lat")).column_type == ColumnType.FLOAT64
+
+    def test_create_detected_as_timestamp(self):
+        tile = make_tile(TILE2_DOCS, threshold=0.6)
+        column = tile.header.extracted(KeyPath.parse("create"))
+        assert column.column_type == ColumnType.TIMESTAMP
+        assert column.is_datetime
+        values = tile.column(KeyPath.parse("create")).to_list()
+        assert values[0] == date_literal("2010-01-01")
+
+    def test_date_detection_can_be_disabled(self):
+        tile = make_tile(TILE2_DOCS, threshold=0.6, detect_dates=False)
+        column = tile.header.extracted(KeyPath.parse("create"))
+        assert column.column_type == ColumnType.STRING
+
+
+class TestThresholdBehaviour:
+    def test_high_threshold_drops_partial_keys(self):
+        # geo.lat occurs in 3/4 tuples; with threshold 80% it is dropped
+        tile = make_tile(TILE2_DOCS, threshold=0.8)
+        assert tile.column(KeyPath.parse("geo.lat")) is None
+        assert tile.column(KeyPath.parse("id")) is not None
+
+    def test_dropped_keys_land_in_bloom_filter(self):
+        tile = make_tile(TILE2_DOCS, threshold=0.8)
+        assert tile.header.may_contain(KeyPath.parse("geo.lat"))
+        assert not tile.header.may_contain(KeyPath.parse("definitely.absent"))
+
+    def test_extracted_prefix_visible(self):
+        tile = make_tile(TILE2_DOCS, threshold=0.6)
+        # `geo` itself is a prefix of the extracted geo.lat
+        assert tile.header.may_contain(KeyPath.parse("geo"))
+
+
+class TestTypeConflicts:
+    def test_most_common_type_wins(self):
+        documents = (
+            [{"v": i} for i in range(7)] + [{"v": float(i) + 0.5} for i in range(3)]
+        )
+        tile = make_tile(documents, threshold=0.5)
+        column = tile.header.extracted(KeyPath.parse("v"))
+        assert column.column_type == ColumnType.INT64
+        assert column.has_type_conflicts
+        values = tile.column(KeyPath.parse("v")).to_list()
+        assert values[:7] == list(range(7))
+        assert values[7:] == [None, None, None]
+
+    def test_fallback_preserves_outliers(self):
+        documents = [{"v": 1}, {"v": 2}, {"v": "three"}, {"v": 4}]
+        tile = make_tile(documents, threshold=0.5)
+        assert tile.column(KeyPath.parse("v")).to_list() == [1, 2, None, 4]
+        fallback = tile.lookup_fallback(2, KeyPath.parse("v"))
+        assert fallback.as_python() == "three"
+
+    def test_int_widens_into_float_column(self):
+        documents = [{"v": 0.5}, {"v": 1.5}, {"v": 2.5}, {"v": 3}]
+        tile = make_tile(documents, threshold=0.7)
+        column = tile.header.extracted(KeyPath.parse("v"))
+        assert column.column_type == ColumnType.FLOAT64
+        assert tile.column(KeyPath.parse("v")).to_list() == [0.5, 1.5, 2.5, 3.0]
+
+    def test_numeric_strings_extract_as_decimal(self):
+        documents = [{"price": "19.99"}, {"price": "5.00"}, {"price": "1.25"}]
+        tile = make_tile(documents)
+        column = tile.header.extracted(KeyPath.parse("price"))
+        assert column.column_type == ColumnType.DECIMAL
+        assert tile.column(KeyPath.parse("price")).to_list() == [19.99, 5.0, 1.25]
+
+
+class TestArraysInTiles:
+    def test_leading_array_elements_extracted(self):
+        documents = [{"a": [1, 2, 3]} for _ in range(4)]
+        tile = make_tile(documents)
+        assert tile.column(KeyPath.parse("a[0]")).to_list() == [1, 1, 1, 1]
+        assert tile.column(KeyPath.parse("a[2]")).to_list() == [3, 3, 3, 3]
+
+    def test_varying_lengths_extract_common_prefix(self):
+        documents = [{"a": [1, 2]}, {"a": [1, 2]}, {"a": [1, 2, 3, 4]}]
+        tile = make_tile(documents, threshold=0.6)
+        assert tile.column(KeyPath.parse("a[0]")) is not None
+        assert tile.column(KeyPath.parse("a[1]")) is not None
+        assert tile.column(KeyPath.parse("a[2]")) is None
+
+    def test_array_element_cap(self):
+        documents = [{"a": list(range(100))} for _ in range(3)]
+        tile = make_tile(documents, max_array_elements=8)
+        assert tile.column(KeyPath.parse("a[7]")) is not None
+        assert tile.column(KeyPath.parse("a[8]")) is None
+
+
+class TestStatisticsCollection:
+    def test_key_counts_stored_in_header(self):
+        tile = make_tile(TILE2_DOCS)
+        assert tile.header.key_counts["id"] == 4
+        assert tile.header.key_counts["geo.lat"] == 3
+
+    def test_column_sketches_observe_values(self):
+        documents = [{"k": i % 5} for i in range(100)]
+        tile = make_tile(documents)
+        stats = tile.header.statistics.columns[KeyPath.parse("k")]
+        assert 4 <= stats.distinct() <= 6
+        assert stats.non_null_count == 100
+        assert stats.min_value == 0
+        assert stats.max_value == 4
+
+
+class TestPlainTile:
+    def test_mine_false_extracts_nothing(self):
+        tile = make_tile_plain(TILE2_DOCS)
+        assert tile.columns == {}
+        assert tile.row_count == 4
+
+    def test_jsonb_rows_accessible(self):
+        tile = make_tile_plain(TILE2_DOCS)
+        value = tile.jsonb_value(0).get_path(KeyPath.parse("user.id"))
+        assert value.as_python() == 7
+
+
+def make_tile_plain(documents):
+    config = ExtractionConfig()
+    jsonb_rows = [encode(doc) for doc in documents]
+    return build_tile(documents, jsonb_rows, config, tile_number=0,
+                      first_row=0, mine=False)
+
+
+class TestSinewStyleGlobalSchema:
+    def test_fixed_schema_is_materialized(self):
+        from repro.tiles import TileSchema
+        from repro.tiles.header import ExtractedColumn
+
+        schema = TileSchema(columns=[
+            ExtractedColumn(KeyPath.parse("id"), JsonType.INT, ColumnType.INT64),
+        ])
+        config = ExtractionConfig()
+        docs = TILE2_DOCS
+        tile = build_tile(docs, [encode(d) for d in docs], config, 0, 0,
+                          schema=schema)
+        assert set(tile.columns) == {KeyPath.parse("id")}
+        assert tile.column(KeyPath.parse("id")).to_list() == [5, 6, 7, 8]

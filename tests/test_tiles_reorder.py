@@ -1,0 +1,207 @@
+"""Tests for tuple reordering across tile partitions (Section 3.2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.jsonpath import KeyPath
+from repro.jsonb import encode
+from repro.mining.dictionary import encode_documents
+from repro.tiles import ExtractionConfig, apply_order, build_tile, reorder_partition
+from repro.tiles.reorder import (
+    assign_rows_to_tiles,
+    match_tuples,
+    mine_partition_itemsets,
+    plan_swaps,
+)
+
+# Document types mimicking Figure 3's news items: each type has its own
+# disjoint-ish structure.
+DOC_TYPES = {
+    "story": lambda i: {"id": i, "type": "story", "score": i % 7,
+                        "desc": 2, "title": "t", "url": "u"},
+    "poll": lambda i: {"id": i, "type": "poll", "score": i % 5,
+                       "desc": 2, "title": "t"},
+    "pollop": lambda i: {"id": i, "type": "pollop", "score": i % 3,
+                         "poll": 2, "title": "t"},
+    "comment": lambda i: {"id": i, "type": "comment", "parent": i - 1,
+                          "text": "c"},
+}
+
+
+def interleaved_documents(n, kinds=("story", "comment", "pollop", "poll")):
+    """Round-robin document types: zero spatial locality."""
+    return [DOC_TYPES[kinds[i % len(kinds)]](i) for i in range(n)]
+
+
+def dominant_itemset_fraction(documents, tile_size):
+    """For each tile, the fraction of tuples sharing the most common key
+    set; averaged over tiles.  1.0 = perfectly clustered."""
+    fractions = []
+    for start in range(0, len(documents), tile_size):
+        chunk = documents[start : start + tile_size]
+        shapes = {}
+        for doc in chunk:
+            shape = frozenset(doc.keys())
+            shapes[shape] = shapes.get(shape, 0) + 1
+        fractions.append(max(shapes.values()) / len(chunk))
+    return sum(fractions) / len(fractions)
+
+
+class TestReorderEndToEnd:
+    def test_permutation_is_valid(self):
+        documents = interleaved_documents(128)
+        config = ExtractionConfig(tile_size=16, partition_size=8)
+        order = reorder_partition(documents, config)
+        assert sorted(order) == list(range(128))
+
+    def test_interleaved_types_get_clustered(self):
+        documents = interleaved_documents(128)
+        config = ExtractionConfig(tile_size=16, partition_size=8, threshold=0.6)
+        before = dominant_itemset_fraction(documents, 16)
+        reordered = apply_order(documents, reorder_partition(documents, config))
+        after = dominant_itemset_fraction(reordered, 16)
+        assert before <= 0.3  # round-robin of 4 types: ~25% per tile
+        assert after >= 0.9   # nearly every tile dominated by one type
+
+    def test_reordering_enables_extraction(self):
+        documents = interleaved_documents(128)
+        config = ExtractionConfig(tile_size=16, partition_size=8, threshold=0.6)
+        # without reordering: only the keys shared by >=60% extract
+        plain_tile = build_tile(documents[:16], [encode(d) for d in documents[:16]],
+                                config, 0, 0)
+        plain_paths = {str(p) for p in plain_tile.columns}
+        assert "url" not in plain_paths and "parent" not in plain_paths
+
+        reordered = apply_order(documents, reorder_partition(documents, config))
+        tiles = [
+            build_tile(reordered[s : s + 16],
+                       [encode(d) for d in reordered[s : s + 16]],
+                       config, s // 16, s)
+            for s in range(0, 128, 16)
+        ]
+        all_paths = set()
+        for tile in tiles:
+            all_paths |= {str(p) for p in tile.columns}
+        # type-specific keys become extractable in their clustered tiles
+        assert "url" in all_paths
+        assert "parent" in all_paths
+
+    def test_shuffled_input(self):
+        rng = random.Random(42)
+        documents = interleaved_documents(256)
+        rng.shuffle(documents)
+        config = ExtractionConfig(tile_size=32, partition_size=8, threshold=0.6)
+        reordered = apply_order(documents, reorder_partition(documents, config))
+        assert dominant_itemset_fraction(reordered, 32) >= 0.85
+
+    def test_homogeneous_input_is_stable_shape(self):
+        documents = [DOC_TYPES["story"](i) for i in range(64)]
+        config = ExtractionConfig(tile_size=16, partition_size=4)
+        order = reorder_partition(documents, config)
+        assert sorted(order) == list(range(64))
+        reordered = apply_order(documents, order)
+        assert dominant_itemset_fraction(reordered, 16) == 1.0
+
+    def test_single_tile_partition_is_identity(self):
+        documents = interleaved_documents(10)
+        config = ExtractionConfig(tile_size=16, partition_size=8)
+        assert reorder_partition(documents, config) == list(range(10))
+
+    def test_empty_input(self):
+        config = ExtractionConfig(tile_size=16)
+        assert reorder_partition([], config) == []
+
+
+class TestMiningSteps:
+    def test_reduced_threshold_finds_minority_itemsets(self):
+        documents = interleaved_documents(128)
+        config = ExtractionConfig(tile_size=16, partition_size=8, threshold=0.6)
+        _, transactions = encode_documents(documents)
+        itemsets = mine_partition_itemsets(transactions, config)
+        # each of the 4 document types has 32 tuples > 0.6*16 = 9.6
+        assert len(itemsets) >= 4
+
+    def test_survival_threshold(self):
+        # a type with too few tuples in the partition cannot fill
+        # threshold * tile_size slots and must not survive
+        documents = [DOC_TYPES["story"](i) for i in range(60)] + [
+            DOC_TYPES["comment"](i) for i in range(4)
+        ]
+        config = ExtractionConfig(tile_size=16, partition_size=4, threshold=0.6)
+        _, transactions = encode_documents(documents)
+        itemsets = mine_partition_itemsets(transactions, config)
+        flat = set().union(*itemsets) if itemsets else set()
+        dictionary, _ = encode_documents(documents)
+        from repro.core.types import JsonType
+        parent_item = (KeyPath.parse("parent"), JsonType.INT)
+        if parent_item in dictionary:
+            assert dictionary.lookup(parent_item) not in flat
+
+
+class TestAssignment:
+    def test_counts_preserved(self):
+        matches = [frozenset({1})] * 10 + [frozenset({2})] * 10
+        tile_of_row = [i // 5 for i in range(20)]
+        desired = assign_rows_to_tiles(matches, tile_of_row, [5, 5, 5, 5],
+                                       threshold=0.6, tile_size=5)
+        per_tile = [desired.count(t) for t in range(4)]
+        assert per_tile == [5, 5, 5, 5]
+
+    def test_clusters_land_in_dedicated_tiles(self):
+        matches = [frozenset({1})] * 10 + [frozenset({2})] * 10
+        tile_of_row = [i % 4 for i in range(20)]  # interleaved
+        desired = assign_rows_to_tiles(matches, tile_of_row, [5, 5, 5, 5],
+                                       threshold=0.6, tile_size=5)
+        for cluster in (frozenset({1}), frozenset({2})):
+            tiles = {desired[row] for row, m in enumerate(matches) if m == cluster}
+            assert len(tiles) == 2  # 10 rows into 2 tiles of 5
+
+    def test_small_cluster_below_threshold_left_alone(self):
+        matches = [frozenset({1})] * 18 + [frozenset({2})] * 2
+        tile_of_row = [i // 5 for i in range(20)]
+        desired = assign_rows_to_tiles(matches, tile_of_row, [5, 5, 5, 5],
+                                       threshold=0.6, tile_size=5)
+        per_tile = [desired.count(t) for t in range(4)]
+        assert per_tile == [5, 5, 5, 5]
+
+
+class TestPlanSwaps:
+    def test_no_moves_no_swaps(self):
+        assert plan_swaps([0, 0, 1, 1], [0, 0, 1, 1]) == []
+
+    def test_simple_exchange(self):
+        swaps = plan_swaps([0, 1], [1, 0])
+        assert swaps == [(1, 0)] or swaps == [(0, 1)]
+
+    def test_realizes_mapping(self):
+        rng = random.Random(7)
+        tile_of_row = [i // 8 for i in range(32)]
+        desired = list(tile_of_row)
+        rng.shuffle(desired)
+        # make feasible: shuffle preserves per-tile counts by construction
+        swaps = plan_swaps(tile_of_row, desired)
+        current = list(tile_of_row)
+        for a, b in swaps:
+            current[a], current[b] = current[b], current[a]
+        assert current == desired
+
+    def test_three_cycle(self):
+        tile_of_row = [0, 1, 2]
+        desired = [1, 2, 0]
+        swaps = plan_swaps(tile_of_row, desired)
+        current = list(tile_of_row)
+        for a, b in swaps:
+            current[a], current[b] = current[b], current[a]
+        assert current == desired
+        assert len(swaps) == 2  # n - cycles
+
+    def test_swap_count_bounded(self):
+        rng = random.Random(99)
+        tile_of_row = [i // 16 for i in range(128)]
+        desired = list(tile_of_row)
+        rng.shuffle(desired)
+        swaps = plan_swaps(tile_of_row, desired)
+        misplaced = sum(a != b for a, b in zip(tile_of_row, desired))
+        assert len(swaps) <= misplaced

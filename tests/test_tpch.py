@@ -1,0 +1,186 @@
+"""TPC-H workload tests: generator invariants + cross-mode/ format
+equality of all 22 queries.
+
+The strongest correctness check in the suite: every query must return
+identical results (1) across all five storage formats and (2) between
+split-table and combined-relation mode — exercising extraction,
+fallbacks, skipping, reordering and the optimizer together.
+"""
+
+import datetime
+
+import pytest
+
+from repro import Database, ExtractionConfig, QueryOptions, StorageFormat
+from repro.workloads.tpch import (
+    TABLE_NAMES,
+    TPCH_QUERIES,
+    generate_combined,
+    generate_tables,
+    make_database,
+)
+
+SF = 0.002
+CONFIG = ExtractionConfig(tile_size=256, partition_size=4)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_tables(SF)
+
+
+@pytest.fixture(scope="module")
+def tiles_db():
+    return make_database(SF, StorageFormat.TILES, CONFIG, combined=True)
+
+
+@pytest.fixture(scope="module")
+def reference_results(tiles_db):
+    return {q: tiles_db.sql(text).rows for q, text in TPCH_QUERIES.items()}
+
+
+class TestGenerator:
+    def test_cardinality_ratios(self, tables):
+        assert len(tables["region"]) == 5
+        assert len(tables["nation"]) == 25
+        assert len(tables["partsupp"]) == 4 * len(tables["part"])
+        assert len(tables["lineitem"]) >= len(tables["orders"])
+
+    def test_deterministic(self):
+        first = generate_tables(SF, seed=7)
+        second = generate_tables(SF, seed=7)
+        assert first["lineitem"] == second["lineitem"]
+
+    def test_seed_changes_data(self):
+        assert generate_tables(SF, seed=1)["orders"] != \
+            generate_tables(SF, seed=2)["orders"]
+
+    def test_date_relationships(self, tables):
+        for row in tables["lineitem"][:500]:
+            ship = datetime.date.fromisoformat(row["l_shipdate"])
+            receipt = datetime.date.fromisoformat(row["l_receiptdate"])
+            assert receipt > ship
+
+    def test_monetary_values_are_numeric_strings(self, tables):
+        row = tables["lineitem"][0]
+        assert isinstance(row["l_extendedprice"], str)
+        float(row["l_extendedprice"])
+
+    def test_every_third_customer_orderless(self, tables):
+        assert all(row["o_custkey"] % 3 != 0 for row in tables["orders"])
+
+    def test_combined_contains_all_tables(self):
+        documents = generate_combined(SF)
+        keys = set()
+        for doc in documents:
+            keys |= set(doc.keys())
+        for marker in ("l_orderkey", "o_orderkey", "c_custkey", "p_partkey",
+                       "ps_partkey", "s_suppkey", "n_nationkey", "r_regionkey"):
+            assert marker in keys
+
+    def test_shuffled_is_permutation(self):
+        plain = generate_combined(SF, shuffled=False)
+        shuffled = generate_combined(SF, shuffled=True)
+        assert len(plain) == len(shuffled)
+        assert plain != shuffled
+
+
+class TestQuerySanity:
+    """Plausibility of individual results on the reference database."""
+
+    def test_q1_four_groups(self, reference_results):
+        rows = reference_results[1]
+        flags = {(row[0], row[1]) for row in rows}
+        assert flags == {("A", "F"), ("N", "F"), ("N", "O"), ("R", "F")}
+
+    def test_q1_aggregates_consistent(self, reference_results):
+        for row in reference_results[1]:
+            count = row[9]
+            assert row[2] / count == pytest.approx(row[6])  # avg qty
+            assert row[3] / count == pytest.approx(row[7])  # avg price
+
+    def test_q4_priorities(self, reference_results):
+        priorities = [row[0] for row in reference_results[4]]
+        assert priorities == sorted(priorities)
+        assert all(count > 0 for _, count in reference_results[4])
+
+    def test_q6_positive_revenue(self, reference_results):
+        assert reference_results[6][0][0] > 0
+
+    def test_q13_includes_zero_orders_group(self, reference_results):
+        counts = {row[0] for row in reference_results[13]}
+        assert 0 in counts  # every third customer has no orders
+
+    def test_q22_customers_without_orders(self, reference_results):
+        assert sum(row[1] for row in reference_results[22]) > 0
+
+    def test_q19_revenue_non_negative(self, reference_results):
+        value = reference_results[19][0][0]
+        assert value is None or value >= 0
+
+
+@pytest.mark.slow
+class TestFormatEquality:
+    """All formats return identical results on the combined relation."""
+
+    @pytest.fixture(scope="class", params=[
+        StorageFormat.JSONB, StorageFormat.SINEW, StorageFormat.JSON,
+    ], ids=lambda f: f.value)
+    def other_db(self, request):
+        return make_database(SF, request.param, CONFIG, combined=True)
+
+    @pytest.mark.parametrize("query", sorted(TPCH_QUERIES))
+    def test_matches_tiles(self, query, other_db, reference_results):
+        rows = other_db.sql(TPCH_QUERIES[query]).rows
+        assert _normalize(rows) == _normalize(reference_results[query])
+
+
+class TestSplitVersusCombined:
+    @pytest.fixture(scope="class")
+    def split_db(self):
+        return make_database(SF, StorageFormat.TILES, CONFIG, combined=False)
+
+    @pytest.mark.parametrize("query", sorted(TPCH_QUERIES))
+    def test_split_equals_combined(self, query, split_db, reference_results):
+        rows = split_db.sql(TPCH_QUERIES[query]).rows
+        assert _normalize(rows) == _normalize(reference_results[query])
+
+
+class TestShuffledAndOptions:
+    def test_shuffled_combined_equals_ordered(self, reference_results):
+        db = make_database(SF, StorageFormat.TILES, CONFIG, combined=True,
+                           shuffled=True)
+        for query in (1, 3, 6, 12):
+            rows = db.sql(TPCH_QUERIES[query]).rows
+            assert _normalize(rows) == _normalize(reference_results[query])
+
+    def test_optimizations_do_not_change_results(self, tiles_db,
+                                                 reference_results):
+        options = QueryOptions(enable_skipping=False, use_statistics=False,
+                               enable_cast_rewriting=False)
+        for query in (1, 3, 4, 13, 18):
+            rows = tiles_db.sql(TPCH_QUERIES[query], options).rows
+            assert _normalize(rows) == _normalize(reference_results[query])
+
+    def test_skipping_helps_on_combined(self, tiles_db):
+        with_skip = tiles_db.sql(TPCH_QUERIES[6])
+        without = tiles_db.sql(TPCH_QUERIES[6],
+                               QueryOptions(enable_skipping=False))
+        assert with_skip.counters.tiles_skipped > 0
+        assert without.counters.tiles_skipped == 0
+        assert with_skip.rows == without.rows
+
+
+def _normalize(rows):
+    """Order-insensitive, float-tolerant comparison form."""
+    def norm_value(value):
+        if isinstance(value, float):
+            # summation order varies between formats/modes: compare at
+            # 6 significant digits
+            return float(f"{value:.6g}")
+        return value
+
+    return sorted(
+        (tuple(norm_value(v) for v in row) for row in rows),
+        key=lambda row: tuple((v is None, str(v)) for v in row),
+    )

@@ -1,0 +1,178 @@
+"""Tests for the Yelp / Twitter / HackerNews / docs workloads."""
+
+import json
+
+import pytest
+
+from repro import ExtractionConfig, StorageFormat
+from repro.workloads import docs, hackernews, twitter, yelp
+
+CONFIG = ExtractionConfig(tile_size=128, partition_size=4)
+
+
+class TestYelpGenerator:
+    def test_deterministic(self):
+        a = yelp.YelpGenerator(50, seed=3).combined()
+        b = yelp.YelpGenerator(50, seed=3).combined()
+        assert a == b
+
+    def test_five_document_types(self):
+        documents = yelp.YelpGenerator(50).combined()
+        kinds = set()
+        for doc in documents:
+            if "review_id" in doc:
+                kinds.add("review")
+            elif "yelping_since" in doc:
+                kinds.add("user")
+            elif "compliment_count" in doc:
+                kinds.add("tip")
+            elif "stars" in doc:
+                kinds.add("business")
+            else:
+                kinds.add("checkin")
+        assert kinds == {"review", "user", "tip", "business", "checkin"}
+
+    def test_nested_attributes(self):
+        businesses = yelp.YelpGenerator(50).businesses()
+        assert any("Ambience" in b["attributes"] for b in businesses)
+
+
+class TestYelpQueries:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return yelp.make_database(80, StorageFormat.TILES, CONFIG)
+
+    def test_all_queries_run(self, db):
+        for query, text in yelp.YELP_QUERIES.items():
+            assert db.sql(text) is not None
+
+    def test_q4_star_histogram(self, db):
+        result = db.sql(yelp.YELP_QUERIES[4])
+        stars = [row[0] for row in result.rows]
+        assert stars == [1, 2, 3, 4, 5]
+        assert all(count > 0 for _, count in result.rows)
+
+    def test_formats_agree(self):
+        def key(row):
+            return tuple((value is None, str(value)) for value in row)
+
+        reference = yelp.make_database(60, StorageFormat.TILES, CONFIG)
+        expected = {q: sorted(reference.sql(t).rows, key=key)
+                    for q, t in yelp.YELP_QUERIES.items()}
+        for fmt in (StorageFormat.JSONB, StorageFormat.SINEW):
+            db = yelp.make_database(60, fmt, CONFIG)
+            for query, text in yelp.YELP_QUERIES.items():
+                assert sorted(db.sql(text).rows, key=key) == \
+                    expected[query], (fmt, query)
+
+
+class TestTwitterGenerator:
+    def test_modern_stream_has_all_features(self):
+        stream = twitter.TwitterGenerator(300, evolving=False).stream()
+        tweets = [d for d in stream if "id" in d]
+        assert any("entities" in t for t in tweets)
+        assert any("geo" in t for t in tweets)
+        assert any("retweeted_status" in t for t in tweets)
+
+    def test_evolving_stream_follows_timeline(self):
+        stream = twitter.TwitterGenerator(600, evolving=True).stream()
+        tweets = [d for d in stream if "id" in d]
+        early = tweets[:15]  # strictly 2006-era
+        late = tweets[-50:]
+        # 2006-era tweets have no hashtags/geo/retweets
+        assert not any("entities" in t for t in early)
+        assert not any("geo" in t for t in early)
+        assert any("entities" in t for t in late)
+
+    def test_delete_records_interleaved(self):
+        stream = twitter.TwitterGenerator(500).stream()
+        deletes = [d for d in stream if "delete" in d]
+        assert 0 < len(deletes) < len(stream) / 2
+        assert all("status" in d["delete"] for d in deletes)
+
+    def test_created_at_parses(self):
+        from repro.core.datetimes import parse_datetime_string
+        stream = twitter.TwitterGenerator(50).stream()
+        tweet = next(d for d in stream if "created_at" in d)
+        assert parse_datetime_string(tweet["created_at"]) is not None
+
+
+class TestTwitterQueries:
+    @pytest.fixture(scope="class")
+    def tiles_db(self):
+        return twitter.make_database(600, StorageFormat.TILES, CONFIG)
+
+    @pytest.fixture(scope="class")
+    def star_db(self):
+        return twitter.make_database(600, StorageFormat.TILES_STAR, CONFIG)
+
+    def test_all_queries_run(self, tiles_db):
+        for text in twitter.TWITTER_QUERIES.values():
+            assert tiles_db.sql(text) is not None
+
+    def test_star_children_registered(self, star_db):
+        assert "tweets__entities_hashtags" in star_db.tables
+        assert "tweets__entities_user_mentions" in star_db.tables
+
+    def test_star_variants_agree_with_base(self, tiles_db, star_db):
+        for query in (3, 4):
+            base = tiles_db.sql(twitter.TWITTER_QUERIES[query]).rows
+            star = star_db.sql(twitter.TWITTER_QUERIES_STAR[query]).rows
+            assert base == star
+
+    def test_delete_query_finds_deletions(self, tiles_db):
+        result = tiles_db.sql(twitter.TWITTER_QUERIES[2])
+        assert len(result) > 0
+        assert all(count >= 1 for _, count in result.rows)
+
+    def test_formats_agree(self):
+        reference = twitter.make_database(400, StorageFormat.TILES, CONFIG)
+        jsonb_db = twitter.make_database(400, StorageFormat.JSONB, CONFIG)
+        for query, text in twitter.TWITTER_QUERIES.items():
+            assert sorted(reference.sql(text).rows) == \
+                sorted(jsonb_db.sql(text).rows), query
+
+
+class TestHackerNews:
+    def test_item_types(self):
+        items = hackernews.generate_items(500)
+        kinds = {item["type"] for item in items}
+        assert kinds == set(hackernews.ITEM_TYPES)
+
+    def test_queries_run(self):
+        db = hackernews.make_database(400, config=CONFIG)
+        for text in hackernews.HACKERNEWS_QUERIES.values():
+            assert db.sql(text) is not None
+
+    def test_interleaving_has_low_locality(self):
+        items = hackernews.generate_items(200)
+        changes = sum(1 for a, b in zip(items, items[1:])
+                      if a["type"] != b["type"])
+        assert changes > 50  # heavily interleaved
+
+
+class TestDocsCorpora:
+    def test_all_corpora_json_serializable(self):
+        for name, generate in docs.CORPORA.items():
+            document = generate()
+            assert json.loads(json.dumps(document)) == document, name
+
+    def test_deterministic(self):
+        for name, generate in docs.CORPORA.items():
+            assert generate() == generate(), name
+
+    def test_access_paths_resolve(self):
+        for name, generate in docs.CORPORA.items():
+            document = generate()
+            for path in docs.ACCESS_PATHS[name]:
+                assert path.lookup(document) is not None, (name, str(path))
+
+    def test_canada_is_array_heavy(self):
+        doc = docs.canada()
+        rings = doc["features"][0]["geometry"]["coordinates"]
+        assert sum(len(ring) for ring in rings) > 1000
+
+    def test_numbers_is_flat_doubles(self):
+        doc = docs.numbers()
+        assert isinstance(doc, list)
+        assert all(isinstance(x, float) for x in doc[:100])

@@ -1,0 +1,195 @@
+"""Tests for zone-map tile pruning, the vectorized single-key group-by
+fast path, and the Top-K operator."""
+
+import numpy as np
+import pytest
+
+from repro import Database, ExtractionConfig, QueryOptions, StorageFormat
+from repro.core.jsonpath import KeyPath
+from repro.core.types import ColumnType
+from repro.engine.operators import (
+    AggregateSpec,
+    BatchSource,
+    HashAggregateOp,
+    SortKey,
+    TopKOp,
+)
+from repro.engine.scan import RangePrune
+from repro.storage.column import ColumnVector
+from repro.engine.batch import Batch
+
+CONFIG = ExtractionConfig(tile_size=32, partition_size=2,
+                          enable_reordering=False)
+
+
+def batch_of(**columns):
+    vectors = {}
+    length = None
+    for name, (ctype, values) in columns.items():
+        vectors[name] = ColumnVector.from_values(ctype, values)
+        length = len(values)
+    return Batch(vectors, length)
+
+
+class TestRangePrune:
+    def test_equality(self):
+        prune = RangePrune(KeyPath.parse("v"), "=", 50)
+        assert prune.excludes(0, 10)
+        assert prune.excludes(60, 90)
+        assert not prune.excludes(0, 100)
+
+    def test_inequalities(self):
+        path = KeyPath.parse("v")
+        assert RangePrune(path, "<", 5).excludes(5, 10)
+        assert not RangePrune(path, "<", 5).excludes(4, 10)
+        assert RangePrune(path, "<=", 5).excludes(6, 10)
+        assert RangePrune(path, ">", 5).excludes(0, 5)
+        assert RangePrune(path, ">=", 5).excludes(0, 4)
+
+    def test_incomparable_types_never_prune(self):
+        prune = RangePrune(KeyPath.parse("v"), "<", "text")
+        assert not prune.excludes(1, 2)
+
+
+class TestZoneMapSkipping:
+    @pytest.fixture(scope="class")
+    def db(self):
+        database = Database(config=CONFIG)
+        # sorted values: tile i covers [32*i, 32*i+31]
+        database.load_table("t", [{"v": i, "s": f"x{i}"}
+                                  for i in range(256)])
+        return database
+
+    def test_range_query_skips_tiles(self, db):
+        result = db.sql("select count(*) as n from t x "
+                        "where x.data->>'v'::int < 40")
+        assert result.scalar() == 40
+        assert result.counters.tiles_skipped == 6  # tiles 2..7
+
+    def test_equality_skips(self, db):
+        result = db.sql("select count(*) as n from t x "
+                        "where x.data->>'v'::int = 100")
+        assert result.scalar() == 1
+        assert result.counters.tiles_skipped == 7
+
+    def test_zone_maps_can_be_disabled(self, db):
+        options = QueryOptions(enable_zone_maps=False)
+        result = db.sql("select count(*) as n from t x "
+                        "where x.data->>'v'::int = 100", options)
+        assert result.scalar() == 1
+        assert result.counters.tiles_skipped == 0
+
+    def test_string_bounds(self, db):
+        # lexical bounds on the string column
+        result = db.sql("select count(*) as n from t x "
+                        "where x.data->>'s' = 'x0'")
+        assert result.scalar() == 1
+        assert result.counters.tiles_skipped > 0
+
+    def test_between_prunes_both_sides(self, db):
+        result = db.sql("select count(*) as n from t x "
+                        "where x.data->>'v'::int between 100 and 110")
+        assert result.scalar() == 11
+        # [100, 110] lives entirely in tile 3 (rows 96..127)
+        assert result.counters.tiles_skipped == 7
+
+    def test_type_conflicts_disable_pruning(self):
+        database = Database(config=ExtractionConfig(tile_size=32))
+        docs = [{"v": i} for i in range(31)] + [{"v": "999"}]
+        database.load_table("t", docs)
+        # the numeric-string outlier lives in the fallback; pruning on
+        # the column bounds (0..30) would wrongly skip it
+        result = database.sql("select count(*) as n from t x "
+                              "where x.data->>'v'::int = 999")
+        assert result.scalar() == 1
+
+    def test_updates_widen_bounds(self):
+        database = Database(config=ExtractionConfig(tile_size=32))
+        relation = database.load_table("t", [{"v": i} for i in range(32)])
+        relation.update(0, {"v": 10_000})
+        result = database.sql("select count(*) as n from t x "
+                              "where x.data->>'v'::int = 10000")
+        assert result.scalar() == 1
+
+
+class TestVectorizedGroupBy:
+    def _run(self, key_type, keys, values, funcs):
+        source = BatchSource([batch_of(k=(key_type, keys),
+                                       v=(ColumnType.INT64, values))])
+        aggregates = [AggregateSpec(func, None if func == "count_star"
+                                    else __import__("repro.engine.expressions",
+                                                    fromlist=["ColumnRef"])
+                                    .ColumnRef("v", ColumnType.INT64),
+                                    f"out{i}")
+                      for i, func in enumerate(funcs)]
+        op = HashAggregateOp(
+            source,
+            [("k", __import__("repro.engine.expressions",
+                              fromlist=["ColumnRef"])
+              .ColumnRef("k", key_type))],
+            aggregates)
+        return op.materialize()
+
+    def test_int_key_all_aggregates(self):
+        result = self._run(ColumnType.INT64,
+                           [1, 2, 1, 2, 1, None],
+                           [10, 20, 30, None, 50, 60],
+                           ["sum", "count", "count_star", "avg", "min",
+                            "max"])
+        rows = {result.column("k").value(i): i for i in range(result.length)}
+        one = rows[1]
+        assert result.column("out0").value(one) == 90
+        assert result.column("out1").value(one) == 3
+        assert result.column("out2").value(one) == 3
+        assert result.column("out3").value(one) == 30.0
+        assert result.column("out4").value(one) == 10
+        assert result.column("out5").value(one) == 50
+        # NULL key forms its own group
+        assert None in rows
+        assert result.column("out0").value(rows[None]) == 60
+
+    def test_string_key(self):
+        result = self._run(ColumnType.STRING,
+                           ["a", "b", "a"], [1, 2, 3], ["sum"])
+        rows = {result.column("k").value(i): i for i in range(result.length)}
+        assert result.column("out0").value(rows["a"]) == 4
+
+    def test_matches_generic_path(self):
+        # count_distinct forces the generic path; compare both
+        keys = [i % 7 for i in range(500)] + [None] * 5
+        values = [i % 13 for i in range(505)]
+        fast = self._run(ColumnType.INT64, keys, values, ["sum", "max"])
+        slow = self._run(ColumnType.INT64, keys, values,
+                         ["sum", "max", "count_distinct"])
+        fast_map = {fast.column("k").value(i):
+                    (fast.column("out0").value(i), fast.column("out1").value(i))
+                    for i in range(fast.length)}
+        slow_map = {slow.column("k").value(i):
+                    (slow.column("out0").value(i), slow.column("out1").value(i))
+                    for i in range(slow.length)}
+        assert fast_map == slow_map
+
+
+class TestTopK:
+    def test_topk_matches_sort_limit(self):
+        import random
+        rng = random.Random(3)
+        values = [rng.randrange(1000) for _ in range(500)]
+        source = BatchSource([batch_of(v=(ColumnType.INT64, values))])
+        top = TopKOp(source, [SortKey("v", descending=True)], 10)
+        result = top.materialize()
+        assert result.column("v").to_list() == sorted(values,
+                                                      reverse=True)[:10]
+
+    def test_topk_with_nulls_last(self):
+        source = BatchSource([batch_of(
+            v=(ColumnType.INT64, [3, None, 1, None, 2]))])
+        result = TopKOp(source, [SortKey("v")], 4).materialize()
+        assert result.column("v").to_list() == [1, 2, 3, None]
+
+    def test_sql_order_limit_uses_topk(self):
+        db = Database(config=CONFIG)
+        db.load_table("t", [{"v": (i * 37) % 100} for i in range(200)])
+        result = db.sql("select x.data->>'v'::int as v from t x "
+                        "order by v desc limit 5")
+        assert result.column("v") == [99, 99, 98, 98, 97]
