@@ -1,0 +1,108 @@
+"""Server benchmark: ingest docs/sec and queries/sec at 1/4/16 clients.
+
+Not a paper figure — this measures the ``repro.server`` subsystem the
+reproduction adds on top of the paper: WAL-backed ingest (with and
+without fsync per acknowledgement) and concurrent SELECT throughput
+over immutable sealed tiles via the thread-pool query executor.
+
+Run with::
+
+    pytest benchmarks/bench_server_throughput.py --benchmark-only
+"""
+
+import threading
+import time
+
+from repro.bench.harness import scaled
+from repro.server import JsonTilesServer, ServerClient
+
+INGEST_DOCS = int(scaled(4000))
+INGEST_BATCH = 100
+QUERY_ROUNDS = 20
+CLIENT_COUNTS = (1, 4, 16)
+
+QUERY = ("select s.data->>'kind' as k, count(*) as n, "
+         "sum(s.data->>'v'::float) as t from stream s "
+         "group by s.data->>'kind' order by k")
+
+
+def _documents(count):
+    return [{"id": i, "kind": "abcde"[i % 5], "v": float(i % 97),
+             "nested": {"flag": i % 2 == 0}} for i in range(count)]
+
+
+def _ingest_rate(tmp_path, wal_sync):
+    server = JsonTilesServer(tmp_path / f"ingest_{wal_sync}",
+                             wal_sync=wal_sync, query_workers=4)
+    server.start_in_thread()
+    try:
+        with ServerClient(port=server.port) as client:
+            client.create_table("stream", "tiles", {"tile_size": 1024})
+            documents = _documents(INGEST_DOCS)
+            started = time.perf_counter()
+            for base in range(0, INGEST_DOCS, INGEST_BATCH):
+                client.insert_many("stream",
+                                   documents[base:base + INGEST_BATCH])
+            seconds = time.perf_counter() - started
+        return INGEST_DOCS / seconds
+    finally:
+        server.stop_in_thread()
+
+
+def _query_rate(server, clients):
+    """Aggregate queries/sec with *clients* concurrent connections."""
+    finished = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker():
+        with ServerClient(port=server.port) as client:
+            barrier.wait()
+            for _ in range(QUERY_ROUNDS):
+                client.query(QUERY)
+        finished.append(True)
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+    assert len(finished) == clients
+    return clients * QUERY_ROUNDS / seconds
+
+
+def test_server_throughput(benchmark, report, tmp_path):
+    ingest_rows = [
+        ["wal fsync per ack", _ingest_rate(tmp_path, True)],
+        ["wal buffered", _ingest_rate(tmp_path, False)],
+    ]
+
+    server = JsonTilesServer(tmp_path / "query", wal_sync=False,
+                             query_workers=16)
+    server.start_in_thread()
+    try:
+        with ServerClient(port=server.port) as client:
+            client.create_table("stream", "tiles", {"tile_size": 1024})
+            documents = _documents(INGEST_DOCS)
+            for base in range(0, INGEST_DOCS, INGEST_BATCH):
+                client.insert_many("stream",
+                                   documents[base:base + INGEST_BATCH])
+            client.flush("stream")
+        query_rows = [[clients, _query_rate(server, clients)]
+                      for clients in CLIENT_COUNTS]
+        benchmark.pedantic(lambda: _query_rate(server, 4),
+                           rounds=1, iterations=1)
+    finally:
+        server.stop_in_thread()
+
+    out = report("server_throughput",
+                 "repro.server - ingest and concurrent query throughput")
+    out.section(f"ingest rate, {INGEST_DOCS} docs in batches of "
+                f"{INGEST_BATCH} (one client)")
+    out.table(["wal mode", "docs/sec"], ingest_rows)
+    out.section(f"query throughput, {QUERY_ROUNDS} group-by queries "
+                f"per client over {INGEST_DOCS} sealed docs")
+    out.table(["clients", "queries/sec"], query_rows)
+    out.emit()

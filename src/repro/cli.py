@@ -12,6 +12,9 @@ Examples::
 
     # describe the extracted tiles instead of querying
     python -m repro --load logs=events.ndjson --describe logs
+
+    # run the durable query/ingest server (see repro.server)
+    python -m repro serve --data-dir ./data --port 7617
 """
 
 from __future__ import annotations
@@ -116,8 +119,61 @@ def _shell(db: Database, options: QueryOptions, out) -> None:
                 print(f"error: {exc}", file=out)
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="serve a durable database directory over TCP "
+                    "(JSON-lines protocol, see repro.server)")
+    parser.add_argument("--data-dir", required=True, metavar="DIR",
+                        help="database directory (created if missing; "
+                             "holds .jtile snapshots and the wal/)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7617)
+    parser.add_argument("--format", default="tiles",
+                        choices=sorted(_FORMATS),
+                        help="storage format for new tables")
+    parser.add_argument("--tile-size", type=int, default=1024)
+    parser.add_argument("--partition-size", type=int, default=8)
+    parser.add_argument("--threshold", type=float, default=0.6)
+    parser.add_argument("--query-workers", type=int, default=8,
+                        help="thread pool size for concurrent queries")
+    parser.add_argument("--checkpoint-interval", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="periodic checkpoint cadence (0 disables)")
+    parser.add_argument("--no-wal-sync", action="store_true",
+                        help="skip fsync on insert acknowledgement "
+                             "(faster ingest, weaker durability)")
+    return parser
+
+
+def serve_main(argv: List[str], out) -> int:
+    from repro.server import run_server
+
+    args = build_serve_parser().parse_args(argv)
+    config = ExtractionConfig(tile_size=args.tile_size,
+                              partition_size=args.partition_size,
+                              threshold=args.threshold)
+    try:
+        run_server(
+            args.data_dir, args.host, args.port,
+            default_format=_FORMATS[args.format],
+            config=config,
+            wal_sync=not args.no_wal_sync,
+            query_workers=args.query_workers,
+            checkpoint_interval=args.checkpoint_interval or None,
+        )
+    except OSError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     storage_format = _FORMATS[args.format]
     config = ExtractionConfig(tile_size=args.tile_size,

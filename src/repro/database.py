@@ -18,11 +18,12 @@ extraction, or JSON tiles.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
 
 from repro.engine.executor import QueryResult, execute_block
 from repro.engine.plan import QueryOptions
-from repro.errors import SqlBindError
+from repro.errors import SqlBindError, StorageError
 from repro.sql.binder import Binder
 from repro.sql.parser import parse
 from repro.storage.formats import StorageFormat
@@ -35,12 +36,24 @@ class Database:
     """A named collection of relations plus the SQL front end."""
 
     def __init__(self, default_format: StorageFormat = StorageFormat.TILES,
-                 config: Optional[ExtractionConfig] = None):
+                 config: Optional[ExtractionConfig] = None,
+                 directory: Optional[Union[str, Path]] = None):
         self.default_format = default_format
         self.config = config or ExtractionConfig()
         self.tables: Dict[str, Relation] = {}
+        #: when set, :meth:`checkpoint` persists every table here and
+        #: :meth:`close` checkpoints before releasing the tables.
+        self.directory: Optional[Path] = \
+            Path(directory) if directory is not None else None
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _child_table_name(name: str, path_text: str) -> str:
+        """The queryable table name of a Tiles-* child relation
+        (array path text sanitized into an identifier suffix)."""
+        safe = path_text.replace(".", "_").replace("[", "_").replace("]", "")
+        return f"{name}__{safe}"
 
     def load_table(self, name: str, rows: Sequence,
                    storage_format: Optional[StorageFormat] = None,
@@ -56,12 +69,22 @@ class Database:
         self.register(name, relation)
         return relation
 
+    def create_table(self, name: str,
+                     storage_format: Optional[StorageFormat] = None,
+                     config: Optional[ExtractionConfig] = None) -> Relation:
+        """Create an empty table that grows through :meth:`Relation.insert`."""
+        if name in self.tables:
+            raise SqlBindError(f"table {name!r} already exists")
+        relation = Relation(name, storage_format or self.default_format,
+                            config or self.config)
+        self.register(name, relation)
+        return relation
+
     def register(self, name: str, relation: Relation) -> None:
         self.tables[name] = relation
         # Tiles-* child relations become queryable side tables
         for path_text, child in relation.children.items():
-            safe = path_text.replace(".", "_").replace("[", "_").replace("]", "")
-            self.tables[f"{name}__{safe}"] = child
+            self.tables[self._child_table_name(name, path_text)] = child
 
     def table(self, name: str) -> Relation:
         if name not in self.tables:
@@ -72,9 +95,42 @@ class Database:
         relation = self.tables.pop(name, None)
         if relation is not None:
             for path_text in relation.children:
-                safe = path_text.replace(".", "_").replace("[", "_") \
-                    .replace("]", "")
-                self.tables.pop(f"{name}__{safe}", None)
+                self.tables.pop(self._child_table_name(name, path_text), None)
+
+    # ------------------------------------------------------------------
+    # durable lifecycle (used by repro.server)
+
+    @classmethod
+    def open(cls, directory: Union[str, Path],
+             default_format: StorageFormat = StorageFormat.TILES,
+             config: Optional[ExtractionConfig] = None) -> "Database":
+        """Open (or initialize) a durable database directory."""
+        from repro.storage.persist import open_database
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        db = open_database(directory, database_cls=cls)
+        db.default_format = default_format
+        if config is not None:
+            db.config = config
+        db.directory = directory
+        return db
+
+    def checkpoint(self) -> Dict[str, int]:
+        """Persist every table into :attr:`directory` (atomic per table:
+        written to a temp file, then renamed over the ``.jtile``).
+        Returns bytes written per table."""
+        from repro.storage.persist import save_database
+
+        if self.directory is None:
+            raise StorageError("database has no durable directory attached")
+        return save_database(self, self.directory)
+
+    def close(self) -> None:
+        """Checkpoint (when durable) and release all tables."""
+        if self.directory is not None:
+            self.checkpoint()
+        self.tables.clear()
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,37 @@
+"""``repro.server`` — a concurrent query/ingest service with
+WAL-backed durability.
+
+The embedded library (``repro.Database``) becomes a network service:
+
+* :class:`JsonTilesServer` — asyncio TCP server speaking a JSON-lines
+  protocol (``query``, ``explain``, ``insert``, ``flush``,
+  ``create_table``, ``stats``, ``checkpoint``, ``ping``,
+  ``shutdown``);
+* :class:`QueryExecutor` — SELECTs on a thread pool under per-table
+  readers/writer locks, so tile sealing never races a scan;
+* :mod:`repro.server.wal` — every insert is logged (and optionally
+  fsync'ed) before acknowledgement, replayed on restart, truncated at
+  checkpoints;
+* :class:`ServerClient` — a small blocking client.
+
+Start one with ``python -m repro serve --data-dir ./data``.
+"""
+
+from repro.server.client import ServerClient, ServerError
+from repro.server.executor import QueryExecutor, referenced_tables
+from repro.server.locks import ReadWriteLock, TableLockRegistry
+from repro.server.server import JsonTilesServer, run_server
+from repro.server.wal import WalManager, WriteAheadLog
+
+__all__ = [
+    "JsonTilesServer",
+    "QueryExecutor",
+    "ReadWriteLock",
+    "ServerClient",
+    "ServerError",
+    "TableLockRegistry",
+    "WalManager",
+    "WriteAheadLog",
+    "referenced_tables",
+    "run_server",
+]

@@ -1,0 +1,133 @@
+"""A small blocking client for the JSON-lines protocol.
+
+Used by the tests, the CLI and the throughput benchmark; it is also a
+reference for writing clients in other languages — one JSON object per
+line in, one per line out.
+
+    from repro.server import ServerClient
+
+    with ServerClient("127.0.0.1", 7617) as client:
+        client.create_table("events", "tiles", {"tile_size": 1024})
+        client.insert_many("events", [{"id": 1}, {"id": 2}])
+        result = client.query("select count(*) as n from events e")
+        print(result.scalar())
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.executor import QueryResult
+from repro.engine.scan import ScanCounters
+from repro.errors import ReproError
+
+from repro.server import protocol
+
+
+class ServerError(ReproError):
+    """The server answered ``ok: false``; carries its error code."""
+
+    def __init__(self, message: str, code: Optional[str] = None):
+        super().__init__(message)
+        self.code = code
+
+
+class ServerClient:
+    """One blocking connection; requests are serialized per client."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7617,
+                 timeout: Optional[float] = 60.0):
+        self.host = host
+        self.port = port
+        self._socket = socket.create_connection((host, port),
+                                                timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+        self._request_id = 0
+
+    # ------------------------------------------------------------------
+
+    def _call(self, command: str, **fields) -> dict:
+        self._request_id += 1
+        request = {"id": self._request_id, "cmd": command, **fields}
+        self._socket.sendall(protocol.encode(request))
+        line = self._reader.readline()
+        if not line:
+            raise ServerError("connection closed by server",
+                              code="disconnected")
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok"):
+            raise ServerError(response.get("error", "unknown server error"),
+                              code=response.get("code"))
+        return response
+
+    # ------------------------------------------------------------------
+
+    def ping(self) -> str:
+        return self._call("ping")["result"]
+
+    def create_table(self, name: str, storage_format: Optional[str] = None,
+                     config: Optional[dict] = None) -> dict:
+        fields = {"name": name}
+        if storage_format is not None:
+            fields["format"] = storage_format
+        if config is not None:
+            fields["config"] = config
+        return self._call("create_table", **fields)
+
+    def insert(self, table: str, document: object) -> int:
+        """Insert one document; returns the table's pending count."""
+        return self._call("insert", table=table, doc=document)["pending"]
+
+    def insert_many(self, table: str, documents: Sequence) -> int:
+        """Insert a batch (one WAL group commit); returns pending."""
+        return self._call("insert", table=table,
+                          docs=list(documents))["pending"]
+
+    def flush(self, table: Optional[str] = None) -> int:
+        fields = {"table": table} if table else {}
+        return self._call("flush", **fields)["sealed_tables"]
+
+    def query(self, sql: str, options: Optional[dict] = None) -> QueryResult:
+        fields = {"sql": sql}
+        if options:
+            fields["options"] = options
+        response = self._call("query", **fields)
+        counters = ScanCounters(
+            tiles_total=response["counters"]["tiles_total"],
+            tiles_skipped=response["counters"]["tiles_skipped"],
+            rows_scanned=response["counters"]["rows_scanned"])
+        return QueryResult(columns=response["columns"],
+                           rows=[tuple(row) for row in response["rows"]],
+                           counters=counters)
+
+    def explain(self, sql: str, options: Optional[dict] = None) -> str:
+        fields = {"sql": sql}
+        if options:
+            fields["options"] = options
+        return self._call("explain", **fields)["plan"]
+
+    def stats(self, table: Optional[str] = None) -> dict:
+        fields = {"table": table} if table else {}
+        return self._call("stats", **fields)
+
+    def checkpoint(self) -> dict:
+        return self._call("checkpoint")["written"]
+
+    def shutdown(self, checkpoint: bool = True) -> None:
+        self._call("shutdown", checkpoint=checkpoint)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,137 @@
+"""Concurrent query execution over immutable sealed tiles.
+
+SELECTs run on a :class:`~concurrent.futures.ThreadPoolExecutor` so
+multiple client sessions make progress at once (scans are numpy-heavy,
+which releases the GIL for the vectorized kernels).  Each query takes
+the *read* side of every referenced table's readers/writer lock for
+its whole lifetime; tile sealing and checkpointing take the write side
+— so a scan can never observe a half-appended tile.
+
+Visibility: acknowledged inserts sit in the relation's insert buffer
+until sealed.  By default the executor seals a table's pending buffer
+(under the write lock) before scanning it, so a query observes every
+insert acknowledged before it started — the tile-granular snapshot the
+paper's §4.7 rule implies, extended with read-your-writes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Optional, Set
+
+from repro.engine.executor import QueryResult
+from repro.engine.plan import QueryOptions
+from repro.sql.ast import SelectStmt, TableRefAst
+from repro.sql.parser import parse
+
+from repro.server.locks import TableLockRegistry
+
+_OPTION_FIELDS = {field.name for field in dataclasses.fields(QueryOptions)}
+
+
+def options_from_dict(raw: Optional[dict]) -> QueryOptions:
+    """Build :class:`QueryOptions` from a wire dict, ignoring unknown
+    keys so older clients keep working against newer servers."""
+    if not raw:
+        return QueryOptions()
+    known = {key: value for key, value in raw.items()
+             if key in _OPTION_FIELDS}
+    return QueryOptions(**known)
+
+
+def _tables_of_ref(ref: TableRefAst, cte_names: frozenset) -> Set[str]:
+    if ref.subquery is not None:
+        return referenced_tables(ref.subquery, cte_names)
+    if ref.name and ref.name not in cte_names:
+        return {ref.name}
+    return set()
+
+
+def referenced_tables(statement: SelectStmt,
+                      cte_names: frozenset = frozenset()) -> Set[str]:
+    """Every base-table name a statement touches (CTEs excluded),
+    across FROM items, LEFT JOINs, derived tables and UNION branches —
+    the lock set of a query."""
+    scope = cte_names | frozenset(name for name, _ in statement.ctes)
+    names: Set[str] = set()
+    for _name, cte in statement.ctes:
+        names |= referenced_tables(cte, scope)
+    for ref in statement.from_tables:
+        names |= _tables_of_ref(ref, scope)
+    for join in statement.left_joins:
+        names |= _tables_of_ref(join.right, scope)
+    for branch in statement.unions:
+        names |= referenced_tables(branch, scope)
+    return names
+
+
+class QueryExecutor:
+    """Runs SELECTs for the server, one worker thread per in-flight
+    query, with per-table read locks held for the query's duration."""
+
+    def __init__(self, db, locks: Optional[TableLockRegistry] = None,
+                 max_workers: int = 8, auto_flush: bool = True):
+        self.db = db
+        self.locks = locks or TableLockRegistry()
+        self.auto_flush = auto_flush
+        self._pool = ThreadPoolExecutor(max_workers=max_workers,
+                                        thread_name_prefix="repro-query")
+        self._counter_lock = threading.Lock()
+        self.queries_executed = 0
+
+    # ------------------------------------------------------------------
+
+    def lock_set(self, sql: str) -> Set[str]:
+        """The registered tables a query would lock (parse-only)."""
+        return referenced_tables(parse(sql)) & set(self.db.tables)
+
+    def _prepare(self, tables: Set[str]) -> None:
+        """Seal pending inserts of every referenced table so the scan
+        observes all acknowledged documents (write lock guards the
+        instant each new tile becomes visible).
+
+        Called unconditionally — not only when the buffer looks
+        non-empty — because ``flush_inserts`` serializes on the
+        relation's seal lock: it therefore also *waits out* an
+        in-flight background seal, whose documents are momentarily in
+        neither the buffer nor the tiles."""
+        if not self.auto_flush:
+            return
+        for name in sorted(tables):
+            relation = self.db.tables.get(name)
+            if relation is not None:
+                relation.flush_inserts(
+                    append_guard=lambda name=name:
+                        self.locks.write_locked(name))
+
+    def execute(self, sql: str,
+                options: Optional[QueryOptions] = None) -> QueryResult:
+        """Blocking execution with locking; called from pool threads."""
+        tables = self.lock_set(sql)
+        self._prepare(tables)
+        with self.locks.read_locked(tables):
+            result = self.db.sql(sql, options)
+        with self._counter_lock:
+            self.queries_executed += 1
+        return result
+
+    def explain(self, sql: str,
+                options: Optional[QueryOptions] = None) -> str:
+        tables = self.lock_set(sql)
+        self._prepare(tables)
+        with self.locks.read_locked(tables):
+            return self.db.explain(sql, options)
+
+    def submit(self, sql: str,
+               options: Optional[QueryOptions] = None) -> Future:
+        return self._pool.submit(self.execute, sql, options)
+
+    def submit_call(self, fn, *args) -> Future:
+        """Run an arbitrary callable on the query pool (used by the
+        server for explain and background sealing)."""
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)

@@ -1,0 +1,104 @@
+"""Per-table readers/writer locks.
+
+Scans take the read side for the duration of a query; tile sealing and
+checkpointing take the write side for the instant a finished tile (or
+snapshot) becomes visible.  The lock is writer-preferring so a steady
+stream of queries cannot starve the sealer, which would let the insert
+buffer grow without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterable, List
+
+
+class ReadWriteLock:
+    """A writer-preferring readers/writer lock."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+
+class TableLockRegistry:
+    """One :class:`ReadWriteLock` per table name, created on demand.
+
+    Multi-table acquisition is always in sorted-name order, so a query
+    joining ``a`` and ``b`` cannot deadlock against a sealer or a
+    checkpoint walking the same tables.
+    """
+
+    def __init__(self):
+        self._locks: Dict[str, ReadWriteLock] = {}
+        self._registry_lock = threading.Lock()
+
+    def lock(self, table: str) -> ReadWriteLock:
+        with self._registry_lock:
+            lock = self._locks.get(table)
+            if lock is None:
+                lock = self._locks[table] = ReadWriteLock()
+            return lock
+
+    @contextmanager
+    def read_locked(self, tables: Iterable[str]):
+        ordered: List[ReadWriteLock] = [self.lock(name)
+                                        for name in sorted(set(tables))]
+        for lock in ordered:
+            lock.acquire_read()
+        try:
+            yield
+        finally:
+            for lock in reversed(ordered):
+                lock.release_read()
+
+    @contextmanager
+    def write_locked(self, table: str):
+        with self.lock(table).write_locked():
+            yield

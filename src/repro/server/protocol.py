@@ -1,0 +1,87 @@
+"""The wire protocol: newline-delimited JSON messages.
+
+Every request is one JSON object on one line; every response is one
+JSON object on one line.  A request carries a ``cmd`` and optionally an
+``id`` that is echoed back, so simple clients can pipeline:
+
+    {"id": 1, "cmd": "insert", "table": "tweets", "doc": {"a": 1}}
+    {"id": 1, "ok": true, "inserted": 1, "pending": 1}
+
+Human-debuggable by design: ``nc localhost 7617`` is a valid client.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import json
+from typing import Optional
+
+#: one message (request or response) may not exceed this many bytes;
+#: also passed as the asyncio stream limit so oversized lines fail
+#: cleanly instead of buffering without bound
+MAX_MESSAGE_BYTES = 32 * 1024 * 1024
+
+#: commands the server understands (kept here so client and server
+#: cannot drift)
+COMMANDS = ("ping", "create_table", "insert", "flush", "query", "explain",
+            "stats", "checkpoint", "shutdown")
+
+
+class ProtocolError(Exception):
+    """Malformed frame: not JSON, not an object, or missing ``cmd``."""
+
+
+def _json_default(value):
+    # query results may carry dates/decimals from ::date / numeric casts
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    if isinstance(value, decimal.Decimal):
+        return float(value)
+    if isinstance(value, bytes):
+        return value.decode("utf-8", "replace")
+    return str(value)
+
+
+def encode(message: dict) -> bytes:
+    """One response/request object as a newline-terminated JSON line."""
+    return (json.dumps(message, separators=(",", ":"),
+                       default=_json_default) + "\n").encode("utf-8")
+
+
+def decode_request(line: bytes) -> dict:
+    """Parse one request line; raises :class:`ProtocolError` on junk."""
+    text = line.decode("utf-8", "replace").strip()
+    if not text:
+        raise ProtocolError("empty request line")
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    command = message.get("cmd")
+    if not isinstance(command, str):
+        raise ProtocolError('request must carry a string "cmd" field')
+    if command not in COMMANDS:
+        raise ProtocolError(f"unknown command {command!r}; "
+                            f"expected one of {', '.join(COMMANDS)}")
+    return message
+
+
+def ok_response(request_id=None, **fields) -> dict:
+    message = {"ok": True}
+    if request_id is not None:
+        message["id"] = request_id
+    message.update(fields)
+    return message
+
+
+def error_response(message: str, request_id=None,
+                   code: Optional[str] = None) -> dict:
+    response = {"ok": False, "error": message}
+    if code is not None:
+        response["code"] = code
+    if request_id is not None:
+        response["id"] = request_id
+    return response

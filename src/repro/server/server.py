@@ -1,0 +1,560 @@
+"""The asyncio TCP server: concurrent queries + durable ingest.
+
+One process serves many clients over the JSON-lines protocol
+(``repro.server.protocol``).  The division of labour:
+
+* the **event loop** owns connection IO and dispatch — it never parses
+  documents, mines tiles, or touches disk;
+* **insert** appends the documents to the table's WAL (fsync before
+  acknowledgement when ``wal_sync``) and into the relation's insert
+  buffer, on the IO pool;
+* a **background sealer** turns full insert buffers into tiles
+  (mining + extraction) on the query pool, holding the table's writer
+  lock only for the instant the finished tile becomes visible — the
+  paper's §4.7 rule: "the tile is visible to scanners only once it is
+  fully created";
+* **queries** run on the query pool under per-table reader locks
+  (``repro.server.executor``);
+* a **checkpoint** persists each relation (sealed tiles and the
+  buffered tail) with its WAL position into the ``.jtile`` snapshot,
+  then truncates the WAL.  Restart = load snapshots, replay WAL tails.
+
+Data directory layout::
+
+    data_dir/
+      catalog.json        # table name -> storage format + config
+      <table>.jtile       # checkpointed snapshot (atomic rename)
+      wal/<table>.wal     # inserts acknowledged since the checkpoint
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.database import Database
+from repro.errors import ReproError
+from repro.storage.formats import StorageFormat
+from repro.storage.persist import (
+    read_relation_extra,
+    save_relation,
+)
+from repro.storage.relation import Relation
+from repro.tiles.extractor import ExtractionConfig
+
+from repro.server import protocol
+from repro.server.executor import QueryExecutor, options_from_dict
+from repro.server.locks import TableLockRegistry
+from repro.server.wal import WalManager, records_to_skip
+
+_TABLE_NAME = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+_FORMATS = {fmt.value: fmt for fmt in StorageFormat}
+
+_CONFIG_FIELDS = ("tile_size", "partition_size", "threshold",
+                  "mining_budget", "max_array_elements", "detect_dates",
+                  "enable_reordering")
+
+
+def _config_from_dict(raw: Optional[dict],
+                      base: ExtractionConfig) -> ExtractionConfig:
+    if not raw:
+        return base
+    fields = {name: getattr(base, name) for name in _CONFIG_FIELDS}
+    fields.update({key: value for key, value in raw.items()
+                   if key in fields})
+    return ExtractionConfig(**fields)
+
+
+class JsonTilesServer:
+    """A durable query/ingest service over one data directory."""
+
+    def __init__(self, data_dir: Union[str, Path],
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 default_format: StorageFormat = StorageFormat.TILES,
+                 config: Optional[ExtractionConfig] = None,
+                 wal_sync: bool = True,
+                 query_workers: int = 8,
+                 checkpoint_interval: Optional[float] = None):
+        self.data_dir = Path(data_dir)
+        self.host = host
+        self.port = port
+        self.default_format = default_format
+        self.config = config or ExtractionConfig()
+        self.wal_sync = wal_sync
+        self.query_workers = query_workers
+        self.checkpoint_interval = checkpoint_interval
+
+        self.db: Optional[Database] = None
+        self.wals: Optional[WalManager] = None
+        self.locks = TableLockRegistry()
+        self.executor: Optional[QueryExecutor] = None
+        #: base (non-child) relations served for ingest, by name
+        self._base: Dict[str, Relation] = {}
+
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._stop_checkpoint = True
+        self._thread: Optional[threading.Thread] = None
+        self._checkpoint_task: Optional[asyncio.Task] = None
+        #: small pool for blocking disk work (WAL appends, checkpoints)
+        self._io_pool = ThreadPoolExecutor(max_workers=4,
+                                           thread_name_prefix="repro-io")
+        self._seal_flags_lock = threading.Lock()
+        self._seal_inflight: Dict[str, bool] = {}
+        self._counters_lock = threading.Lock()
+        self._counters = {"inserts": 0, "queries": 0, "seals": 0,
+                          "checkpoints": 0, "connections_total": 0}
+        self._connections_active = 0
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------
+    # durable open / recovery
+
+    def _catalog_path(self) -> Path:
+        return self.data_dir / "catalog.json"
+
+    def _load_catalog(self) -> Dict[str, dict]:
+        path = self._catalog_path()
+        if not path.exists():
+            return {}
+        return json.loads(path.read_text(encoding="utf-8")).get("tables", {})
+
+    def _write_catalog(self) -> None:
+        tables = {
+            name: {
+                "format": relation.format.value,
+                "config": {field: getattr(relation.config, field)
+                           for field in _CONFIG_FIELDS},
+            }
+            for name, relation in sorted(self._base.items())
+        }
+        path = self._catalog_path()
+        temp = path.with_name(path.name + ".tmp")
+        with temp.open("w", encoding="utf-8") as handle:
+            json.dump({"tables": tables}, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+
+    def _open_database(self) -> None:
+        """Load snapshots, re-create cataloged tables, replay WALs."""
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.db = Database.open(self.data_dir, self.default_format,
+                                self.config)
+        catalog = self._load_catalog()
+        snapshot_names = {path.stem
+                          for path in self.data_dir.glob("*.jtile")}
+        for name, entry in catalog.items():
+            if name not in self.db.tables:
+                self.db.create_table(
+                    name, _FORMATS[entry["format"]],
+                    _config_from_dict(entry.get("config"), self.config))
+        for name in sorted(snapshot_names | set(catalog)):
+            self._base[name] = self.db.tables[name]
+        self.wals = WalManager(self.data_dir / "wal", sync=self.wal_sync)
+        for name in self.wals.existing_tables():
+            relation = self._base.get(name)
+            if relation is None:
+                continue  # WAL without catalog entry or snapshot: stale
+            wal = self.wals.for_table(name)
+            position = {}
+            snapshot = self.data_dir / f"{name}.jtile"
+            if snapshot.exists():
+                position = read_relation_extra(snapshot).get("wal", {})
+            records = wal.replay()
+            for document in records[records_to_skip(wal, position):]:
+                relation.insert(document)
+        for relation in self._base.values():
+            # the background sealer owns tile creation from here on
+            relation.auto_seal = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        self._open_database()
+        self.executor = QueryExecutor(self.db, self.locks,
+                                      max_workers=self.query_workers)
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=protocol.MAX_MESSAGE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        if self.checkpoint_interval:
+            self._checkpoint_task = self._loop.create_task(
+                self._checkpoint_periodically())
+
+    @property
+    def address(self):
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`request_stop` (or the ``shutdown``
+        command), then shut down gracefully."""
+        await self._stop_event.wait()
+        await self.stop(checkpoint=self._stop_checkpoint)
+
+    def request_stop(self, checkpoint: bool = True) -> None:
+        self._stop_checkpoint = checkpoint
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+
+    async def stop(self, checkpoint: bool = True) -> None:
+        """Stop accepting, drain, optionally checkpoint, release."""
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            self._checkpoint_task = None
+        if self._server is not None:
+            self._server.close()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks,
+                                     return_exceptions=True)
+            await self._server.wait_closed()
+            self._server = None
+        if checkpoint:
+            await self._loop.run_in_executor(self._io_pool,
+                                             self._checkpoint_all)
+        self.executor.shutdown()
+        self._io_pool.shutdown(wait=True)
+        self.wals.close()
+
+    # -- background-thread embedding (tests, benchmarks, CLI) ----------
+
+    def start_in_thread(self) -> "JsonTilesServer":
+        """Run the server on a daemon thread; returns once the socket
+        is bound (``self.port`` holds the real port)."""
+        started = threading.Event()
+        failure: list = []
+
+        def runner():
+            async def main():
+                try:
+                    await self.start()
+                except Exception as exc:  # surface bind/recovery errors
+                    failure.append(exc)
+                    started.set()
+                    return
+                started.set()
+                await self.serve_forever()
+
+            asyncio.run(main())
+
+        self._thread = threading.Thread(target=runner, daemon=True,
+                                        name="repro-server")
+        self._thread.start()
+        started.wait()
+        if failure:
+            raise failure[0]
+        return self
+
+    def stop_in_thread(self, checkpoint: bool = True,
+                       timeout: float = 30.0) -> None:
+        """Graceful stop from another thread.  ``checkpoint=False``
+        skips the final checkpoint — the WAL alone must then carry
+        every acknowledged insert (the crash-recovery tests use this
+        as a hard kill)."""
+        if self._thread is None:
+            return
+        self.request_stop(checkpoint=checkpoint)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # ingest path
+
+    def _append_and_buffer(self, name: str, relation: Relation,
+                           documents: list) -> int:
+        """WAL first, buffer second, atomically with respect to a
+        concurrent checkpoint (which holds the write lock)."""
+        with self.locks.read_locked([name]):
+            self.wals.for_table(name).append_many(documents)
+            relation.insert_many(documents)
+            return relation.pending_inserts
+
+    def _seal_table(self, name: str, relation: Relation) -> None:
+        try:
+            while relation.pending_inserts >= relation.config.tile_size:
+                relation.flush_inserts(
+                    append_guard=lambda: self.locks.write_locked(name))
+                self._bump("seals")
+        finally:
+            with self._seal_flags_lock:
+                self._seal_inflight[name] = False
+        if relation.pending_inserts >= relation.config.tile_size:
+            self._schedule_seal(name, relation)  # raced a late insert
+
+    def _schedule_seal(self, name: str, relation: Relation) -> None:
+        with self._seal_flags_lock:
+            if self._seal_inflight.get(name):
+                return
+            self._seal_inflight[name] = True
+        self.executor.submit_call(self._seal_table, name, relation)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+
+    def _checkpoint_table(self, name: str, relation: Relation) -> int:
+        """Snapshot one table and truncate its WAL.  The write lock
+        freezes ingest for the duration, so the stored WAL position
+        exactly matches the snapshot's contents."""
+        wal = self.wals.for_table(name)
+        # seal_paused first (same seal-lock -> write-lock order as
+        # flush_inserts): an in-flight background seal holds documents
+        # in neither the buffer nor the tiles, and a snapshot taken in
+        # that window would lose them once the WAL is truncated
+        with relation.seal_paused():
+            with self.locks.write_locked(name):
+                position = wal.position()
+                size = save_relation(relation,
+                                     self.data_dir / f"{name}.jtile",
+                                     extra={"wal": position})
+                wal.truncate()
+        return size
+
+    def _checkpoint_all(self) -> Dict[str, int]:
+        written = {}
+        for name in sorted(self._base):
+            written[name] = self._checkpoint_table(name, self._base[name])
+        self._write_catalog()
+        self._bump("checkpoints")
+        return written
+
+    async def _checkpoint_periodically(self) -> None:
+        while True:
+            await asyncio.sleep(self.checkpoint_interval)
+            await self._loop.run_in_executor(self._io_pool,
+                                             self._checkpoint_all)
+
+    # ------------------------------------------------------------------
+    # connection handling
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[counter] += amount
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._bump("connections_total")
+        self._connections_active += 1
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    writer.write(protocol.encode(protocol.error_response(
+                        "request line exceeds the message size limit",
+                        code="protocol")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                try:
+                    request = protocol.decode_request(line)
+                except protocol.ProtocolError as exc:
+                    writer.write(protocol.encode(protocol.error_response(
+                        str(exc), code="protocol")))
+                    await writer.drain()
+                    continue
+                response = await self._dispatch(request)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+                if request["cmd"] == "shutdown" and response.get("ok"):
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            self._connections_active -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: dict) -> dict:
+        request_id = request.get("id")
+        command = request["cmd"]
+        try:
+            handler = getattr(self, f"_cmd_{command}")
+            return await handler(request, request_id)
+        except ReproError as exc:
+            return protocol.error_response(str(exc), request_id,
+                                           code=type(exc).__name__)
+        except (KeyError, TypeError, ValueError) as exc:
+            return protocol.error_response(f"bad request: {exc}",
+                                           request_id, code="bad_request")
+
+    # -- command handlers ----------------------------------------------
+
+    async def _cmd_ping(self, request: dict, request_id) -> dict:
+        return protocol.ok_response(request_id, result="pong")
+
+    async def _cmd_create_table(self, request: dict, request_id) -> dict:
+        name = request["name"]
+        if not isinstance(name, str) or not _TABLE_NAME.match(name):
+            return protocol.error_response(
+                f"invalid table name {name!r}", request_id,
+                code="bad_request")
+        if "__" in name:
+            return protocol.error_response(
+                "table names may not contain '__' "
+                "(reserved for Tiles-* child tables)", request_id,
+                code="bad_request")
+        format_name = request.get("format", self.default_format.value)
+        if format_name not in _FORMATS:
+            return protocol.error_response(
+                f"unknown storage format {format_name!r}", request_id,
+                code="bad_request")
+        config = _config_from_dict(request.get("config"), self.config)
+        relation = self.db.create_table(name, _FORMATS[format_name], config)
+        relation.auto_seal = False
+        self._base[name] = relation
+        # catalog + WAL segment exist before the ack, so the table
+        # definition survives a crash even with zero checkpoints
+        await self._loop.run_in_executor(self._io_pool, self._write_catalog)
+        await self._loop.run_in_executor(
+            self._io_pool, self.wals.for_table, name)
+        return protocol.ok_response(request_id, table=name,
+                                    format=format_name)
+
+    async def _cmd_insert(self, request: dict, request_id) -> dict:
+        name = request["table"]
+        relation = self._base.get(name)
+        if relation is None:
+            return protocol.error_response(f"unknown table {name!r}",
+                                           request_id, code="bad_request")
+        documents = request["docs"] if "docs" in request \
+            else [request["doc"]]
+        if not isinstance(documents, list):
+            return protocol.error_response(
+                '"docs" must be a JSON array of documents', request_id,
+                code="bad_request")
+        # parse JSON-text documents up front, so nothing that can fail
+        # later reaches the WAL (an acknowledged record must replay)
+        documents = [json.loads(doc) if isinstance(doc, str) else doc
+                     for doc in documents]
+        pending = await self._loop.run_in_executor(
+            self._io_pool, self._append_and_buffer, name, relation,
+            documents)
+        self._bump("inserts", len(documents))
+        if pending >= relation.config.tile_size:
+            self._schedule_seal(name, relation)
+        return protocol.ok_response(request_id, inserted=len(documents),
+                                    pending=pending)
+
+    async def _cmd_flush(self, request: dict, request_id) -> dict:
+        name = request.get("table")
+        tables = [name] if name else sorted(self._base)
+        if name and name not in self._base:
+            return protocol.error_response(f"unknown table {name!r}",
+                                           request_id, code="bad_request")
+
+        def flush_all():
+            sealed = 0
+            for table in tables:
+                relation = self._base[table]
+                had_pending = relation.pending_inserts > 0
+                relation.flush_inserts(
+                    append_guard=lambda table=table:
+                        self.locks.write_locked(table))
+                sealed += had_pending
+            return sealed
+
+        sealed = await asyncio.wrap_future(
+            self.executor.submit_call(flush_all))
+        return protocol.ok_response(request_id, sealed_tables=sealed)
+
+    async def _cmd_query(self, request: dict, request_id) -> dict:
+        options = options_from_dict(request.get("options"))
+        result = await asyncio.wrap_future(
+            self.executor.submit(request["sql"], options))
+        self._bump("queries")
+        return protocol.ok_response(
+            request_id,
+            columns=result.columns,
+            rows=[list(row) for row in result.rows],
+            counters={"tiles_total": result.counters.tiles_total,
+                      "tiles_skipped": result.counters.tiles_skipped,
+                      "rows_scanned": result.counters.rows_scanned},
+        )
+
+    async def _cmd_explain(self, request: dict, request_id) -> dict:
+        options = options_from_dict(request.get("options"))
+        plan = await asyncio.wrap_future(self.executor.submit_call(
+            self.executor.explain, request["sql"], options))
+        return protocol.ok_response(request_id, plan=plan)
+
+    async def _cmd_stats(self, request: dict, request_id) -> dict:
+        name = request.get("table")
+        tables = {}
+        for table, relation in sorted(self._base.items()):
+            if name and table != name:
+                continue
+            tables[table] = {
+                "format": relation.format.value,
+                "rows": relation.row_count,
+                "pending": relation.pending_inserts,
+                "tiles": len(relation.tiles),
+                "wal_records": self.wals.for_table(table).record_count,
+            }
+        with self._counters_lock:
+            counters = dict(self._counters)
+        counters["connections_active"] = self._connections_active
+        return protocol.ok_response(
+            request_id, tables=tables, counters=counters,
+            uptime_s=round(time.monotonic() - self._started_at, 3))
+
+    async def _cmd_checkpoint(self, request: dict, request_id) -> dict:
+        written = await self._loop.run_in_executor(self._io_pool,
+                                                   self._checkpoint_all)
+        return protocol.ok_response(request_id, written=written)
+
+    async def _cmd_shutdown(self, request: dict, request_id) -> dict:
+        checkpoint = bool(request.get("checkpoint", True))
+        self._stop_checkpoint = checkpoint
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        return protocol.ok_response(request_id, stopping=True)
+
+
+def run_server(data_dir: Union[str, Path], host: str = "127.0.0.1",
+               port: int = 7617, **kwargs) -> None:
+    """Blocking entry point used by ``python -m repro serve``."""
+
+    async def main():
+        server = JsonTilesServer(data_dir, host, port, **kwargs)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except NotImplementedError:  # non-Unix event loops
+                pass
+        print(f"repro server listening on {server.host}:{server.port} "
+              f"(data dir: {server.data_dir})", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            await server.stop()
+            raise
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,198 @@
+"""Per-table write-ahead logging for the ingest path.
+
+Durability contract (the paper's §4.7 visibility rule, made crash
+safe): an ``insert`` is acknowledged only after its document is
+appended (and optionally fsync'ed) to the table's WAL segment.  Tiles
+are sealed from the in-memory buffer later, in the background; a
+checkpoint persists the relation — sealed tiles *and* the still
+buffered tail — via ``storage/persist.py`` and then truncates the WAL.
+
+Crash-recovery bookkeeping uses epochs instead of a separate position
+file, so there is no window where the snapshot and the WAL disagree:
+
+* every WAL segment carries an *epoch* in its header; truncation
+  atomically replaces the segment with an empty one at ``epoch + 1``;
+* a checkpoint stores ``(epoch, record_count)`` *inside* the ``.jtile``
+  snapshot (``save_relation(extra=...)``), committing snapshot and WAL
+  position in one atomic rename;
+* replay skips the first ``record_count`` records when the on-disk
+  epoch still equals the snapshot's epoch (crash after snapshot
+  rename, before truncate) and replays everything when the epoch is
+  newer (normal restart).
+
+File layout: magic ``JWAL1``, little-endian u32 epoch, then records of
+``u32 length | u32 crc32 | payload`` where the payload is the UTF-8
+JSON document.  A torn tail (partial record or crc mismatch) is
+dropped on open — those records were never acknowledged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.errors import StorageError
+
+WAL_MAGIC = b"JWAL1"
+_HEADER = struct.Struct("<I")          # epoch
+_RECORD = struct.Struct("<II")         # payload length, crc32
+_HEADER_BYTES = len(WAL_MAGIC) + _HEADER.size
+
+
+def _scan(data: bytes, path: Path) -> Tuple[int, int, List[bytes]]:
+    """Validate *data*; returns (epoch, bytes of valid prefix, payloads)."""
+    if len(data) < _HEADER_BYTES or data[:len(WAL_MAGIC)] != WAL_MAGIC:
+        raise StorageError(f"{path} is not a WAL segment")
+    (epoch,) = _HEADER.unpack_from(data, len(WAL_MAGIC))
+    payloads: List[bytes] = []
+    pos = _HEADER_BYTES
+    while pos + _RECORD.size <= len(data):
+        length, crc = _RECORD.unpack_from(data, pos)
+        end = pos + _RECORD.size + length
+        if end > len(data):
+            break  # torn tail: record was cut mid-write
+        payload = data[pos + _RECORD.size : end]
+        if zlib.crc32(payload) != crc:
+            break  # torn tail: payload corrupted
+        payloads.append(payload)
+        pos = end
+    return epoch, pos, payloads
+
+
+class WriteAheadLog:
+    """One append-only segment file for one table."""
+
+    def __init__(self, path: Union[str, Path], sync: bool = True):
+        self.path = Path(path)
+        self.sync = sync
+        self._lock = threading.Lock()
+        self._handle = None
+        self.epoch = 1
+        self.record_count = 0
+        self._open()
+
+    def _open(self) -> None:
+        if self.path.exists():
+            data = self.path.read_bytes()
+            epoch, valid, payloads = _scan(data, self.path)
+            self.epoch = epoch
+            self.record_count = len(payloads)
+            self._handle = self.path.open("r+b")
+            if valid < len(data):  # drop the unacknowledged torn tail
+                self._handle.truncate(valid)
+            self._handle.seek(valid)
+        else:
+            self._handle = self.path.open("w+b")
+            self._handle.write(WAL_MAGIC + _HEADER.pack(self.epoch))
+            self._flush()
+
+    def _flush(self) -> None:
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+
+    def append(self, document: object) -> int:
+        """Durably log one document; returns the new record count."""
+        return self.append_many([document])
+
+    def append_many(self, documents: Iterable[object]) -> int:
+        """Durably log a batch with a single flush/fsync (group commit)."""
+        parts = []
+        count = 0
+        for document in documents:
+            payload = json.dumps(document,
+                                 separators=(",", ":")).encode("utf-8")
+            parts.append(_RECORD.pack(len(payload), zlib.crc32(payload)))
+            parts.append(payload)
+            count += 1
+        if not count:
+            return self.record_count
+        with self._lock:
+            self._handle.write(b"".join(parts))
+            self._flush()
+            self.record_count += count
+            return self.record_count
+
+    def replay(self) -> List[object]:
+        """Every acknowledged document in the segment, in append order."""
+        with self._lock:
+            data = self.path.read_bytes()
+        _epoch, _valid, payloads = _scan(data, self.path)
+        return [json.loads(payload.decode("utf-8")) for payload in payloads]
+
+    def position(self) -> Dict[str, int]:
+        """The ``(epoch, records)`` pair a checkpoint stores in its
+        snapshot — see :func:`records_to_skip`."""
+        with self._lock:
+            return {"epoch": self.epoch, "records": self.record_count}
+
+    def truncate(self) -> None:
+        """Atomically replace the segment with an empty next-epoch one
+        (called after a checkpoint made its records redundant)."""
+        with self._lock:
+            next_epoch = self.epoch + 1
+            temp = self.path.with_name(self.path.name + ".tmp")
+            with temp.open("wb") as handle:
+                handle.write(WAL_MAGIC + _HEADER.pack(next_epoch))
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.close()
+            os.replace(temp, self.path)
+            self.epoch = next_epoch
+            self.record_count = 0
+            self._handle = self.path.open("r+b")
+            self._handle.seek(0, os.SEEK_END)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def records_to_skip(wal: WriteAheadLog, snapshot_position: dict) -> int:
+    """How many leading WAL records the ``.jtile`` snapshot already
+    contains.  Same epoch → the snapshot covered the first ``records``
+    entries (crash happened before truncation); newer WAL epoch → the
+    segment was truncated after the snapshot, nothing to skip."""
+    if not snapshot_position:
+        return 0
+    if wal.epoch == snapshot_position.get("epoch"):
+        return int(snapshot_position.get("records", 0))
+    return 0
+
+
+class WalManager:
+    """The ``wal/`` directory of a data dir: one segment per table."""
+
+    def __init__(self, directory: Union[str, Path], sync: bool = True):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.sync = sync
+        self._segments: Dict[str, WriteAheadLog] = {}
+        self._lock = threading.Lock()
+
+    def for_table(self, table: str) -> WriteAheadLog:
+        with self._lock:
+            segment = self._segments.get(table)
+            if segment is None:
+                segment = WriteAheadLog(self.directory / f"{table}.wal",
+                                        sync=self.sync)
+                self._segments[table] = segment
+            return segment
+
+    def existing_tables(self) -> List[str]:
+        return sorted(path.stem for path in self.directory.glob("*.wal"))
+
+    def close(self) -> None:
+        with self._lock:
+            for segment in self._segments.values():
+                segment.close()
+            self._segments.clear()

@@ -18,6 +18,7 @@ database answers queries identically (verified by tests).
 from __future__ import annotations
 
 import json
+import os
 import struct
 from pathlib import Path
 from typing import BinaryIO, Dict, List, Optional, Tuple, Union
@@ -299,7 +300,6 @@ def _config_meta(config: ExtractionConfig) -> dict:
 
 
 def _relation_meta(relation: Relation, blobs: _BlobWriter) -> dict:
-    relation.flush_inserts()
     meta = {
         "name": relation.name,
         "format": relation.format.value,
@@ -316,6 +316,13 @@ def _relation_meta(relation: Relation, blobs: _BlobWriter) -> dict:
             [row.encode("utf-8") for row in relation.text_rows]))
     else:
         meta["tiles"] = [_tile_meta(tile, blobs) for tile in relation.tiles]
+        # pending (unsealed) inserts round-trip as documents instead of
+        # being force-sealed into an undersized tile at save time
+        buffered = relation.snapshot_insert_buffer()
+        if buffered:
+            meta["insert_buffer"] = blobs.add(_encode_rows(
+                [json.dumps(document, separators=(",", ":")).encode("utf-8")
+                 for document in buffered]))
     return meta
 
 
@@ -333,35 +340,58 @@ def _restore_relation(meta: dict, blobs: List[bytes]) -> Relation:
         relation.text_rows = None
         relation.tiles = [_restore_tile(tile_meta, blobs)
                           for tile_meta in meta["tiles"]]
+        if "insert_buffer" in meta:
+            relation._insert_buffer = [
+                json.loads(row.decode("utf-8"))
+                for row in _decode_rows(blobs[meta["insert_buffer"]])]
     return relation
 
 
-def save_relation(relation: Relation, path: Union[str, Path]) -> int:
+def save_relation(relation: Relation, path: Union[str, Path],
+                  extra: Optional[dict] = None) -> int:
     """Write the relation (and its Tiles-* children) to *path*;
-    returns the number of bytes written."""
+    returns the number of bytes written.
+
+    The file is written to a temp sibling and atomically renamed into
+    place, so a crash mid-save never leaves a torn ``.jtile`` behind.
+    *extra* is an optional JSON-serializable dict stored alongside the
+    catalog (read back with :func:`read_relation_extra`) — the server
+    records its WAL position there so snapshot + position commit
+    atomically.
+    """
     blobs = _BlobWriter()
     catalog = _relation_meta(relation, blobs)
     catalog["blob_sizes"] = [len(blob) for blob in blobs.blobs]
+    if extra is not None:
+        catalog["extra"] = extra
     header = json.dumps(catalog, separators=(",", ":")).encode("utf-8")
     path = Path(path)
-    with path.open("wb") as handle:
+    temp = path.with_name(path.name + ".tmp")
+    with temp.open("wb") as handle:
         handle.write(MAGIC)
         handle.write(struct.pack("<Q", len(header)))
         handle.write(header)
         for blob in blobs.blobs:
             handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
     return path.stat().st_size
+
+
+def _read_catalog(handle: BinaryIO, path: Path) -> dict:
+    magic = handle.read(len(MAGIC))
+    if magic != MAGIC:
+        raise StorageError(f"{path} is not a JSON-tiles relation file")
+    (header_len,) = struct.unpack("<Q", handle.read(8))
+    return json.loads(handle.read(header_len).decode("utf-8"))
 
 
 def load_relation(path: Union[str, Path]) -> Relation:
     """Read a relation written by :func:`save_relation`."""
     path = Path(path)
     with path.open("rb") as handle:
-        magic = handle.read(len(MAGIC))
-        if magic != MAGIC:
-            raise StorageError(f"{path} is not a JSON-tiles relation file")
-        (header_len,) = struct.unpack("<Q", handle.read(8))
-        catalog = json.loads(handle.read(header_len).decode("utf-8"))
+        catalog = _read_catalog(handle, path)
         blobs: List[bytes] = []
         for size in catalog["blob_sizes"]:
             blob = handle.read(size)
@@ -371,18 +401,27 @@ def load_relation(path: Union[str, Path]) -> Relation:
     return _restore_relation(catalog, blobs)
 
 
+def read_relation_extra(path: Union[str, Path]) -> dict:
+    """The ``extra`` dict stored with :func:`save_relation` (reads only
+    the catalog header, not the blob payloads)."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        catalog = _read_catalog(handle, path)
+    return catalog.get("extra", {})
+
+
 def save_database(db, directory: Union[str, Path]) -> Dict[str, int]:
     """Persist every (non-child) table of a Database into *directory*;
     returns bytes written per table."""
+    from repro.database import Database
+
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written = {}
     child_names = set()
     for name, relation in db.tables.items():
         for path_text in relation.children:
-            safe = path_text.replace(".", "_").replace("[", "_").replace(
-                "]", "")
-            child_names.add(f"{name}__{safe}")
+            child_names.add(Database._child_table_name(name, path_text))
     seen = set()
     for name, relation in db.tables.items():
         if name in child_names or id(relation) in seen:

@@ -15,7 +15,9 @@ extracted schema.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterator, List, Optional
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.core.jsonpath import KeyPath, collect_key_paths
 from repro.errors import StorageError
@@ -51,6 +53,18 @@ class Relation:
         #: (Section 3.2: "a new tile is created whenever the number of
         #: newly-inserted tuples reaches the tile size")
         self._insert_buffer: List[object] = []
+        #: guards buffer mutation and the tiles-list append; cheap
+        #: operations only — tile building happens outside of it
+        self._buffer_lock = threading.Lock()
+        #: serializes sealers so tile numbers / first rows stay dense
+        #: while the expensive build runs outside ``_buffer_lock``
+        self._seal_lock = threading.Lock()
+        #: when False, :meth:`insert` never seals synchronously; the
+        #: owner (e.g. the server's background sealer) must watch
+        #: :attr:`pending_inserts` and call :meth:`flush_inserts`
+        self.auto_seal = True
+        #: callbacks ``(relation, tile)`` fired after a tile is sealed
+        self._seal_hooks: List[Callable[["Relation", Tile], None]] = []
 
     # ------------------------------------------------------------------
     # shape
@@ -74,38 +88,85 @@ class Relation:
         scan that must observe the fresh tuples.
         """
         if self.text_rows is not None:
-            self.text_rows.append(json.dumps(document)
-                                  if not isinstance(document, str)
-                                  else document)
+            row = (json.dumps(document) if not isinstance(document, str)
+                   else document)
+            with self._buffer_lock:
+                self.text_rows.append(row)
             return
-        self._insert_buffer.append(
-            json.loads(document) if isinstance(document, str) else document)
-        if len(self._insert_buffer) >= self.config.tile_size:
+        parsed = (json.loads(document) if isinstance(document, str)
+                  else document)
+        with self._buffer_lock:
+            self._insert_buffer.append(parsed)
+            full = len(self._insert_buffer) >= self.config.tile_size
+        if full and self.auto_seal:
             self.flush_inserts()
 
     def insert_many(self, documents) -> None:
         for document in documents:
             self.insert(document)
 
-    def flush_inserts(self) -> None:
+    def flush_inserts(self, append_guard=None) -> None:
         """Seal the insert buffer into a new tile (no-op when empty).
 
         The new tile is only appended once fully built, mirroring the
         paper's visibility rule ("the tile is visible to scanners only
-        once it is fully created").
+        once it is fully created").  Safe to call from any thread:
+        sealers are serialized and the expensive mining/extraction runs
+        without blocking concurrent :meth:`insert` calls.
+
+        *append_guard*, when given, is a context manager held around
+        the instant the finished tile becomes visible (tiles-list
+        append + statistics merge) — the server passes its per-table
+        writer lock here so sealing never races a scan.
         """
-        if not self._insert_buffer or self.text_rows is not None:
+        if self.text_rows is not None:
             return
-        documents = self._insert_buffer
-        self._insert_buffer = []
-        jsonb_rows = [jsonb_encode(document) for document in documents]
-        tile_number = (self.tiles[-1].header.tile_number + 1
-                       if self.tiles else 0)
-        first_row = self.row_count
-        tile = build_tile(documents, jsonb_rows, self.config, tile_number,
-                          first_row, mine=self.format.extracts_columns)
-        self.tiles.append(tile)
-        self.statistics.absorb_tile(tile_number, tile.header.statistics)
+        with self._seal_lock:
+            with self._buffer_lock:
+                if not self._insert_buffer:
+                    return
+                documents = self._insert_buffer
+                self._insert_buffer = []
+                # only sealers mutate self.tiles, and they hold
+                # _seal_lock, so these reads are stable
+                tile_number = (self.tiles[-1].header.tile_number + 1
+                               if self.tiles else 0)
+                first_row = sum(tile.row_count for tile in self.tiles)
+            jsonb_rows = [jsonb_encode(document) for document in documents]
+            tile = build_tile(documents, jsonb_rows, self.config,
+                              tile_number, first_row,
+                              mine=self.format.extracts_columns)
+            guard = append_guard() if callable(append_guard) else append_guard
+            if guard is not None:
+                with guard:
+                    with self._buffer_lock:
+                        self.tiles.append(tile)
+                        self.statistics.absorb_tile(
+                            tile_number, tile.header.statistics)
+            else:
+                with self._buffer_lock:
+                    self.tiles.append(tile)
+                    self.statistics.absorb_tile(tile_number,
+                                                tile.header.statistics)
+        for hook in self._seal_hooks:
+            hook(self, tile)
+
+    def add_seal_hook(self, hook: Callable[["Relation", Tile], None]) -> None:
+        self._seal_hooks.append(hook)
+
+    @contextmanager
+    def seal_paused(self):
+        """No tile can seal while inside: waits out an in-flight
+        :meth:`flush_inserts` and blocks new ones.  A checkpoint wraps
+        its snapshot in this so no document is momentarily in neither
+        the buffer nor the tiles."""
+        with self._seal_lock:
+            yield
+
+    def snapshot_insert_buffer(self) -> List[object]:
+        """A consistent copy of the pending (unsealed) documents."""
+        with self._buffer_lock:
+            return list(self._insert_buffer)
 
     @property
     def pending_inserts(self) -> int:

@@ -125,3 +125,52 @@ class TestCliPersistence:
         assert code == 0
         assert "opened 'events': 40 documents" in text
         assert "40" in text
+
+
+class TestCliServe:
+    def test_serve_parser_requires_data_dir(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_serve_subprocess_end_to_end(self, tmp_path):
+        """`python -m repro serve` binds, answers a client, and a
+        graceful SIGTERM checkpoints the data directory."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        from repro.server import ServerClient
+
+        from pathlib import Path
+
+        data_dir = tmp_path / "data"
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--data-dir", str(data_dir), "--port", "0",
+             "--tile-size", "16"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"listening on [\d.]+:(\d+)", banner)
+            assert match, f"unexpected banner: {banner!r}"
+            port = int(match.group(1))
+            with ServerClient(port=port) as client:
+                assert client.ping() == "pong"
+                client.create_table("t", "tiles", {"tile_size": 16})
+                client.insert_many("t", [{"id": i} for i in range(20)])
+                assert client.query(
+                    "select count(*) as n from t x").scalar() == 20
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        assert (data_dir / "t.jtile").exists()  # graceful checkpoint

@@ -87,13 +87,48 @@ class TestRelationRoundTrip:
         assert restored.children["tags"].row_count == \
             relation.children["tags"].row_count
 
-    def test_pending_inserts_flushed_on_save(self, tmp_path):
+    def test_pending_inserts_round_trip(self, tmp_path):
+        """Buffered (unsealed) inserts survive save/load as a buffer —
+        no forced seal of an undersized tile, no dropped rows."""
         db = Database(StorageFormat.TILES, CONFIG)
         relation = db.load_table("t", tweets(32))
-        relation.insert({"id": 999})
+        relation.insert({"id": 999, "fresh": True})
+        tiles_before = len(relation.tiles)
         save_relation(relation, tmp_path / "t.jtile")
+        assert len(relation.tiles) == tiles_before  # save did not seal
         restored = load_relation(tmp_path / "t.jtile")
+        assert restored.pending_inserts == 1
+        assert restored.snapshot_insert_buffer() == \
+            [{"id": 999, "fresh": True}]
+        restored.flush_inserts()
         assert restored.row_count == 33
+        assert restored.document(32) == {"id": 999, "fresh": True}
+
+    def test_pending_inserts_queryable_after_reopen(self, tmp_path):
+        db = Database(StorageFormat.TILES, CONFIG)
+        db.load_table("t", tweets(40))
+        db.table("t").insert_many([{"id": 1000 + i} for i in range(5)])
+        save_database(db, tmp_path / "store")
+        reopened = open_database(tmp_path / "store")
+        relation = reopened.table("t")
+        assert relation.pending_inserts == 5
+        relation.flush_inserts()
+        assert reopened.sql("select count(*) as n from t x").scalar() == 45
+
+    def test_save_relation_extra_round_trip(self, tmp_path):
+        from repro.storage.persist import read_relation_extra
+
+        db = Database(StorageFormat.TILES, CONFIG)
+        relation = db.load_table("t", tweets(32))
+        path = tmp_path / "t.jtile"
+        save_relation(relation, path, extra={"wal": {"epoch": 3,
+                                                     "records": 17}})
+        assert read_relation_extra(path) == {"wal": {"epoch": 3,
+                                                     "records": 17}}
+        save_relation(relation, path)
+        assert read_relation_extra(path) == {}
+        # the extra dict rides in the catalog, not in the relation
+        assert load_relation(path).row_count == 32
 
     def test_bad_magic_rejected(self, tmp_path):
         path = tmp_path / "junk.jtile"

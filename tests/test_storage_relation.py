@@ -232,3 +232,56 @@ class TestParallelLoading:
             assert set(left.columns) == set(right.columns)
             assert left.column(KeyPath.parse("id")).to_list() == \
                 right.column(KeyPath.parse("id")).to_list()
+
+
+class TestThreadSafeInserts:
+    def test_concurrent_inserts_lose_nothing(self):
+        """Many writer threads inserting at once: every document lands
+        exactly once, tiles stay dense (tile numbers and first_row
+        gapless) and the buffer holds the remainder."""
+        import threading
+
+        config = ExtractionConfig(tile_size=64, partition_size=2)
+        relation = Relation("t", StorageFormat.TILES, config)
+        per_thread, threads = 500, 8
+
+        def writer(base):
+            for i in range(per_thread):
+                relation.insert({"id": base + i, "v": float(i)})
+
+        workers = [threading.Thread(target=writer, args=(t * per_thread,))
+                   for t in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        relation.flush_inserts()
+        total = per_thread * threads
+        assert relation.row_count == total
+        assert relation.pending_inserts == 0
+        assert [t.header.tile_number for t in relation.tiles] == \
+            list(range(len(relation.tiles)))
+        assert [t.first_row for t in relation.tiles] == \
+            [sum(x.row_count for x in relation.tiles[:i])
+             for i in range(len(relation.tiles))]
+        seen = sorted(doc["id"] for doc in relation.documents())
+        assert seen == list(range(total))
+
+    def test_seal_hook_fires_per_tile(self):
+        config = ExtractionConfig(tile_size=32, partition_size=2)
+        relation = Relation("t", StorageFormat.TILES, config)
+        sealed = []
+        relation.add_seal_hook(lambda rel, tile: sealed.append(
+            (tile.header.tile_number, tile.row_count)))
+        relation.insert_many([{"id": i} for i in range(80)])
+        relation.flush_inserts()
+        assert sealed == [(0, 32), (1, 32), (2, 16)]
+
+    def test_auto_seal_off_defers_to_owner(self):
+        config = ExtractionConfig(tile_size=16, partition_size=2)
+        relation = Relation("t", StorageFormat.TILES, config)
+        relation.auto_seal = False
+        relation.insert_many([{"id": i} for i in range(40)])
+        assert relation.pending_inserts == 40 and not relation.tiles
+        relation.flush_inserts()
+        assert relation.row_count == 40
