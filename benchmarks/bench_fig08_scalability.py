@@ -16,6 +16,7 @@ import time
 import pytest
 
 from repro.bench import datasets
+from repro.engine.plan import QueryOptions
 from repro.storage.formats import StorageFormat
 from repro.workloads.tpch import TPCH_QUERIES
 
@@ -84,3 +85,45 @@ def test_fig08_scalability(benchmark, report):
         # Tiles stays on top at every parallelism level
         assert results[(label, StorageFormat.TILES, 4)] > \
             results[(label, StorageFormat.JSONB, 4)]
+
+
+def _morsel_rate(db, query: str, parallelism: int, rounds: int = 3) -> float:
+    options = QueryOptions(parallelism=parallelism)
+    db.sql(query, options)  # warm (JIT-free, but page/alloc effects)
+    started = time.perf_counter()
+    for _ in range(rounds):
+        db.sql(query, options)
+    return rounds / (time.perf_counter() - started)
+
+
+def test_fig08_morsel_threads(benchmark, report):
+    """Morsel-driven parallelism within one process: worker threads
+    scan tile-granular morsels concurrently (numpy kernels release the
+    GIL), partial aggregates merge in morsel order — bit-identical to
+    the serial engine at any width."""
+    db = datasets.tpch_db(StorageFormat.TILES)
+    queries = {"Q1": TPCH_QUERIES[1], "Q18": TPCH_QUERIES[18]}
+    results = {}
+    for label, query in queries.items():
+        for workers in WORKER_COUNTS:
+            results[(label, workers)] = _morsel_rate(db, query, workers)
+    benchmark.pedantic(lambda: _morsel_rate(db, queries["Q1"], 4, rounds=1),
+                       rounds=1, iterations=1)
+
+    cores = os.cpu_count() or 1
+    out = report("fig08_morsel_threads",
+                 "Figure 8 (in-process) - morsel-driven thread "
+                 "parallelism [queries/sec]")
+    out.section(f"QueryOptions(parallelism=N), {cores} core(s)")
+    rows = [[label] + [results[(label, workers)]
+                       for workers in WORKER_COUNTS]
+            for label in queries]
+    out.table(["query"] + [f"{w} workers" for w in WORKER_COUNTS], rows)
+    out.emit()
+
+    # determinism is covered by tests/test_parallel_exec.py; here only
+    # the scaling claim, which needs real cores to hold
+    if cores >= 4:
+        for label in queries:
+            assert results[(label, 4)] >= 2.0 * results[(label, 1)], \
+                (label, results)

@@ -10,6 +10,7 @@ Run with::
     pytest benchmarks/bench_server_throughput.py --benchmark-only
 """
 
+import os
 import threading
 import time
 
@@ -20,15 +21,28 @@ INGEST_DOCS = int(scaled(4000))
 INGEST_BATCH = 100
 QUERY_ROUNDS = 20
 CLIENT_COUNTS = (1, 4, 16)
+MORSEL_WORKERS = (1, 2, 4)
 
 QUERY = ("select s.data->>'kind' as k, count(*) as n, "
          "sum(s.data->>'v'::float) as t from stream s "
          "group by s.data->>'kind' order by k")
 
+#: ``extra`` appears in 20% of documents — below the extraction
+#: threshold, so every access pays the per-tuple JSONB fallback unless
+#: the resolved-tile cache serves it
+FALLBACK_QUERY = ("select sum(s.data->>'extra'::float) as t, "
+                  "count(*) as n from stream s")
+
 
 def _documents(count):
-    return [{"id": i, "kind": "abcde"[i % 5], "v": float(i % 97),
-             "nested": {"flag": i % 2 == 0}} for i in range(count)]
+    docs = []
+    for i in range(count):
+        doc = {"id": i, "kind": "abcde"[i % 5], "v": float(i % 97),
+               "nested": {"flag": i % 2 == 0}}
+        if i % 5 == 0:
+            doc["extra"] = float(i)
+        docs.append(doc)
+    return docs
 
 
 def _ingest_rate(tmp_path, wal_sync):
@@ -106,3 +120,67 @@ def test_server_throughput(benchmark, report, tmp_path):
                 f"per client over {INGEST_DOCS} sealed docs")
     out.table(["clients", "queries/sec"], query_rows)
     out.emit()
+
+
+def _serial_rate(client, sql, options, rounds=QUERY_ROUNDS):
+    """Queries/sec of one client issuing *rounds* identical queries."""
+    client.query(sql, options)  # warm caches / first-touch costs
+    started = time.perf_counter()
+    for _ in range(rounds):
+        client.query(sql, options)
+    return rounds / (time.perf_counter() - started)
+
+
+def test_server_parallel_and_cache(benchmark, report, tmp_path):
+    """The per-query execution knobs the server adds: morsel-driven
+    parallelism (``--workers`` / options.parallelism) and the shared
+    resolved-tile cache (``--cache-mb`` / options.tile_cache)."""
+    server = JsonTilesServer(tmp_path / "knobs", wal_sync=False,
+                             query_workers=8, parallelism=1, cache_mb=64.0)
+    server.start_in_thread()
+    try:
+        with ServerClient(port=server.port) as client:
+            client.create_table("stream", "tiles", {"tile_size": 1024})
+            documents = _documents(INGEST_DOCS)
+            for base in range(0, INGEST_DOCS, INGEST_BATCH):
+                client.insert_many("stream",
+                                   documents[base:base + INGEST_BATCH])
+            client.flush("stream")
+
+            worker_rows = [
+                [workers, _serial_rate(client, QUERY,
+                                       {"parallelism": workers,
+                                        "tile_cache": False})]
+                for workers in MORSEL_WORKERS]
+
+            uncached = _serial_rate(client, FALLBACK_QUERY,
+                                    {"tile_cache": False}, rounds=5)
+            cached = _serial_rate(client, FALLBACK_QUERY,
+                                  {"tile_cache": True}, rounds=5)
+            cache_stats = client.stats()["cache"]
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    finally:
+        server.stop_in_thread()
+
+    cores = os.cpu_count() or 1
+    out = report("server_parallel_cache",
+                 "repro.server - morsel parallelism and the "
+                 "resolved-tile cache")
+    out.section(f"group-by queries/sec by per-query morsel workers "
+                f"({cores} core(s), one client)")
+    out.table(["workers", "queries/sec"], worker_rows)
+    out.section(f"fallback-heavy query ({INGEST_DOCS} docs, key in 20%): "
+                f"repeated-query rate")
+    out.table(["mode", "queries/sec"],
+              [["jsonb fallback every query", uncached],
+               ["resolved-tile cache", cached]])
+    out.note(f"cache speedup {cached / uncached:.1f}x; cache stats: "
+             f"{cache_stats['hits']} hits, {cache_stats['misses']} misses, "
+             f"{cache_stats['entries']} entries")
+    out.emit()
+
+    # the cache skips the pure-Python JSONB decode entirely, so the
+    # speedup holds on any machine (no core-count gate)
+    assert cached >= 3.0 * uncached, (cached, uncached)
+    if cores >= 4:
+        assert dict(worker_rows)[4] >= 2.0 * dict(worker_rows)[1], worker_rows

@@ -137,6 +137,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--threshold", type=float, default=0.6)
     parser.add_argument("--query-workers", type=int, default=8,
                         help="thread pool size for concurrent queries")
+    parser.add_argument("--workers", type=int, default=1,
+                        metavar="N",
+                        help="morsel-parallelism per query: worker "
+                             "threads scanning tiles concurrently "
+                             "(1 = serial)")
+    parser.add_argument("--cache-mb", type=float, default=64.0,
+                        metavar="MB",
+                        help="resolved-tile cache capacity in MiB "
+                             "(0 disables the cache)")
     parser.add_argument("--checkpoint-interval", type=float, default=60.0,
                         metavar="SECONDS",
                         help="periodic checkpoint cadence (0 disables)")
@@ -160,6 +169,8 @@ def serve_main(argv: List[str], out) -> int:
             config=config,
             wal_sync=not args.no_wal_sync,
             query_workers=args.query_workers,
+            parallelism=args.workers,
+            cache_mb=args.cache_mb,
             checkpoint_interval=args.checkpoint_interval or None,
         )
     except OSError as exc:

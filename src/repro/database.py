@@ -143,9 +143,16 @@ class Database:
         return execute_block(block, options)
 
     def explain(self, query: str,
-                options: Optional[QueryOptions] = None) -> str:
+                options: Optional[QueryOptions] = None,
+                analyze: bool = False) -> str:
         """The chosen join order, the operator tree and the per-table
-        access requests (push-down visibility)."""
+        access requests (push-down visibility).
+
+        With *analyze*, the query is actually executed and every scan
+        is annotated with its counters (tiles scanned/skipped, rows,
+        fallback lookups, cache hits/misses), followed by worker-pool
+        utilization — EXPLAIN ANALYZE for the morsel engine.
+        """
         options = options or QueryOptions()
         statement = parse(query)
         block = Binder(self.tables, options).bind(statement)
@@ -154,8 +161,15 @@ class Database:
 
         planner = Planner(options)
         tree = planner.plan_block(block)
+        if analyze:
+            batch = tree.materialize() if hasattr(tree, "materialize") \
+                else None
+            if batch is None:
+                from repro.engine.batch import concat_batches
+                batch = concat_batches(list(tree.batches()))
+            rows = batch.length if batch is not None else 0
         lines = [f"join order: {' -> '.join(planner.last_join_order) or '-'}"]
-        lines.append(render_plan(tree))
+        lines.append(render_plan(tree, analyze=analyze))
         for source in block.sources:
             requests = getattr(source, "requests", None)
             if requests:
@@ -163,4 +177,13 @@ class Database:
                 for request in requests.values():
                     lines.append(f"  {request.path} :: "
                                  f"{request.target.name}")
+        if analyze:
+            from repro.engine.morsels import pool_stats
+
+            lines.append(f"rows: {rows}")
+            if options.parallelism > 1:
+                stats = pool_stats()
+                lines.append(
+                    "pool: workers={workers} tasks={tasks_completed} "
+                    "busy={busy_seconds}s".format(**stats))
         return "\n".join(lines)

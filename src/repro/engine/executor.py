@@ -72,8 +72,7 @@ def execute_block(block: QueryBlock,
             rows.append(tuple(vector.value(row) for vector in vectors))
     counters = ScanCounters()
     for scan in planner.scans:
-        counters.tiles_total += scan.counters.tiles_total
-        counters.tiles_skipped += scan.counters.tiles_skipped
-        counters.rows_scanned += scan.counters.rows_scanned
-        counters.fallback_lookups += scan.counters.fallback_lookups
+        counters.merge(scan.counters)
+        # per-table running totals for the server's `stats` command
+        scan.relation.record_scan(scan.counters)
     return QueryResult(columns, rows, counters, planner.last_join_order)

@@ -8,14 +8,18 @@ from repro.engine import operators as op
 from repro.engine.scan import TableScan
 
 
-def render_plan(root, indent: str = "") -> str:
-    """Render a physical operator tree as indented text."""
+def render_plan(root, indent: str = "", analyze: bool = False) -> str:
+    """Render a physical operator tree as indented text.
+
+    With *analyze*, scans are annotated with their (already executed)
+    counters — tiles scanned/skipped, fallback lookups, cache hits.
+    """
     lines: List[str] = []
-    _render(root, lines, 0)
+    _render(root, lines, 0, analyze)
     return "\n".join(lines)
 
 
-def _describe(node) -> str:
+def _describe(node, analyze: bool = False) -> str:
     if isinstance(node, TableScan):
         skips = ""
         if node.skip_paths:
@@ -25,9 +29,18 @@ def _describe(node) -> str:
             prunes = f", zone maps on " \
                      f"{sorted({str(p.path) for p in node.range_prunes})}"
         predicate = ", filtered" if node.predicate is not None else ""
-        return (f"TableScan {node.relation.name} "
+        workers = (f", parallelism={node.parallelism}"
+                   if node.parallelism > 1 else "")
+        cache = ", cached" if node.use_cache else ""
+        text = (f"TableScan {node.relation.name} "
                 f"[{node.relation.format.value}] "
-                f"({len(node.requests)} accesses{predicate}{skips}{prunes})")
+                f"({len(node.requests)} accesses{predicate}{skips}{prunes}"
+                f"{workers}{cache})")
+        if analyze:
+            stats = ", ".join(f"{name}={value}" for name, value
+                              in node.counters.as_dict().items())
+            text += f"  [{stats}]"
+        return text
     if isinstance(node, op.HashJoinOp):
         return (f"HashJoin [{node.kind.value}] on "
                 f"{len(node.left_keys)} key(s)"
@@ -64,8 +77,8 @@ def _children(node):
     return [child] if child is not None else []
 
 
-def _render(node, lines: List[str], depth: int) -> None:
+def _render(node, lines: List[str], depth: int, analyze: bool = False) -> None:
     prefix = "  " * depth + ("-> " if depth else "")
-    lines.append(prefix + _describe(node))
+    lines.append(prefix + _describe(node, analyze))
     for child in _children(node):
-        _render(child, lines, depth + 1)
+        _render(child, lines, depth + 1, analyze)

@@ -4,12 +4,23 @@ All operators pull batches from their children.  Joins and aggregation
 use numpy fast paths for single int64 keys (the common case once JSON
 accesses are pushed down and cast-rewritten) and fall back to generic
 hashing for composite or string keys.
+
+Morsel-driven parallelism: aggregation and top-k recognize when their
+child pipeline bottoms out at a :class:`~repro.engine.scan.TableScan`
+(through filters/projections) and, when the scan is configured with
+``parallelism > 1``, dispatch tile morsels to the shared worker pool.
+Each worker runs scan → predicate → partial state on its morsel; the
+merge stage folds partials **in morsel order**, replaying the serial
+engine's exact float-operation sequence so results stay bit-identical
+at any worker count.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass
+from functools import partial as _bind
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -17,6 +28,7 @@ import numpy as np
 from repro.core.types import ColumnType
 from repro.engine.batch import Batch, concat_batches
 from repro.engine.expressions import Expression
+from repro.engine.morsels import run_ordered
 from repro.errors import ExecutionError
 from repro.storage.column import ColumnVector
 
@@ -63,6 +75,61 @@ class ProjectOp(Operator):
             columns = {name: expr.evaluate(batch)
                        for name, expr in self.outputs}
             yield Batch(columns, batch.length)
+
+
+def _extract_pipeline(op):
+    """Peel filters/projections off *op* down to a TableScan.
+
+    Returns ``(scan, transforms)`` where *transforms* re-applies the
+    peeled operators (scan-order) to one morsel's batch, or
+    ``(None, [])`` when the tree does not bottom out at a scan — then
+    the caller falls back to streaming ``child.batches()`` (which
+    still parallelizes inside the scan itself).
+    """
+    from repro.engine.scan import TableScan
+
+    transforms: List[Tuple[str, object]] = []
+    node = op
+    while True:
+        if isinstance(node, TableScan):
+            transforms.reverse()
+            return node, transforms
+        if isinstance(node, FilterOp):
+            transforms.append(("filter", node.predicate))
+            node = node.child
+        elif isinstance(node, ProjectOp):
+            transforms.append(("project", node.outputs))
+            node = node.child
+        else:
+            return None, []
+
+
+def _apply_transforms(batch: Optional[Batch], transforms) -> Optional[Batch]:
+    """Replay peeled filter/project semantics on one morsel batch;
+    ``None`` means the morsel contributed no rows."""
+    if batch is None or batch.length == 0:
+        return None
+    for kind, payload in transforms:
+        if kind == "filter":
+            verdict = payload.evaluate(batch)
+            keep = verdict.data.astype(bool) & ~verdict.null_mask
+            if not keep.any():
+                return None
+            if not keep.all():
+                batch = batch.filter(keep)
+        else:
+            batch = Batch({name: expr.evaluate(batch)
+                           for name, expr in payload}, batch.length)
+    return batch if batch.length else None
+
+
+def _parallel_source(child):
+    """The (scan, transforms, morsels) triple when *child* can be
+    morsel-dispatched; ``None`` keeps the serial path."""
+    scan, transforms = _extract_pipeline(child)
+    if scan is None or scan.parallelism <= 1:
+        return None
+    return scan, transforms, scan.morsels()
 
 
 class JoinKind(enum.Enum):
@@ -304,6 +371,10 @@ class HashAggregateOp(Operator):
         if len(self.keys) == 1 and self._vectorizable_aggs():
             yield self._single_key_aggregate()
             return
+        # generic path (composite/string keys, count_distinct per
+        # group): per-row float accumulation is order-sensitive, so the
+        # coordinator aggregates serially — the scan underneath still
+        # produces its batches in parallel, in order
         groups: Dict[tuple, List] = {}
         key_types: Optional[List[ColumnType]] = None
         for batch in self.child.batches():
@@ -342,82 +413,233 @@ class HashAggregateOp(Operator):
     def _single_key_aggregate(self) -> Batch:
         """Vectorized GROUP BY over one key: per batch, the key vector
         is factorized with ``np.unique`` and every aggregate update is a
-        ``np.bincount`` / ``minimum.at`` reduction."""
+        ``np.bincount`` / ``minimum.at`` reduction.
+
+        With a morsel-dispatchable child, every worker builds a
+        :class:`_SingleKeyState` for its morsel and the coordinator
+        merges them in morsel order — the same per-batch partials the
+        serial loop folds, in the same order, so the result is
+        bit-identical to serial execution.
+        """
         key_name, key_expr = self.keys[0]
-        group_ids: Dict[object, int] = {}
-        key_values: List[object] = []
-        key_type: Optional[ColumnType] = None
+        state = _SingleKeyState(key_expr, self.aggregates)
+        source = _parallel_source(self.child)
+        if source is not None:
+            scan, transforms, morsels = source
+
+            def task(morsel):
+                batch = _apply_transforms(scan.resolve_morsel(morsel),
+                                          transforms)
+                if batch is None:
+                    return None
+                piece = _SingleKeyState(key_expr, self.aggregates)
+                piece.update(batch)
+                return piece
+
+            pieces = run_ordered([_bind(task, morsel) for morsel in morsels],
+                                 scan.parallelism)
+            for piece in pieces:
+                if piece is not None:
+                    state.merge(piece)
+        else:
+            for batch in self.child.batches():
+                state.update(batch)
+        return state.finish(key_name)
+
+    def _scalar_aggregate(self) -> Batch:
+        """Vectorized global aggregation (no GROUP BY): every state
+        update is a numpy reduction over the batch; morsel partials
+        merge in order (see :meth:`_single_key_aggregate`)."""
+        states = [_new_state(spec) for spec in self.aggregates]
+        source = _parallel_source(self.child)
+        if source is not None:
+            scan, transforms, morsels = source
+
+            def task(morsel):
+                batch = _apply_transforms(scan.resolve_morsel(morsel),
+                                          transforms)
+                if batch is None:
+                    return None
+                piece = [_new_state(spec) for spec in self.aggregates]
+                self._scalar_update(piece, batch)
+                return piece
+
+            pieces = run_ordered([_bind(task, morsel) for morsel in morsels],
+                                 scan.parallelism)
+            for piece in pieces:
+                if piece is not None:
+                    self._merge_scalar(states, piece)
+        else:
+            for batch in self.child.batches():
+                self._scalar_update(states, batch)
+        return self._finish({(): states}, [])
+
+    def _scalar_update(self, states: List[List], batch: Batch) -> None:
+        for slot, spec in enumerate(self.aggregates):
+            state = states[slot]
+            if spec.func == "count_star":
+                state[0] += batch.length
+                continue
+            vector = spec.expr.evaluate(batch)
+            valid = ~vector.null_mask
+            count = int(np.count_nonzero(valid))
+            if count == 0:
+                continue
+            if spec.func == "count":
+                state[0] += count
+            elif spec.func == "count_distinct":
+                if vector.data.dtype == object:
+                    state[0].update(vector.data[valid].tolist())
+                else:
+                    state[0].update(np.unique(vector.data[valid]).tolist())
+            elif spec.func == "sum":
+                state[0] += vector.data[valid].sum().item() \
+                    if vector.data.dtype != object \
+                    else sum(vector.data[valid].tolist())
+            elif spec.func == "avg":
+                state[0] += vector.data[valid].sum().item() \
+                    if vector.data.dtype != object \
+                    else sum(vector.data[valid].tolist())
+                state[1] += count
+            elif spec.func in ("min", "max"):
+                if vector.data.dtype == object:
+                    extreme = (min if spec.func == "min" else max)(
+                        vector.data[valid].tolist())
+                else:
+                    reduce = (np.min if spec.func == "min" else np.max)
+                    extreme = reduce(vector.data[valid]).item()
+                if state[0] is None or (
+                        extreme < state[0] if spec.func == "min"
+                        else extreme > state[0]):
+                    state[0] = extreme
+            else:
+                raise ExecutionError(f"unknown aggregate {spec.func!r}")
+
+    def _merge_scalar(self, states: List[List], incoming: List[List]) -> None:
+        """Fold one morsel's partial states in; untouched partials are
+        skipped so the fold replays exactly the serial update sequence
+        (a batch with no valid rows never touched the serial state)."""
+        for slot, spec in enumerate(self.aggregates):
+            state, piece = states[slot], incoming[slot]
+            if spec.func == "count_distinct":
+                state[0].update(piece[0])
+            elif spec.func in ("min", "max"):
+                if piece[0] is not None and (
+                        state[0] is None or (
+                            piece[0] < state[0] if spec.func == "min"
+                            else piece[0] > state[0])):
+                    state[0] = piece[0]
+            elif spec.func == "avg":
+                if piece[1]:
+                    state[0] += piece[0]
+                    state[1] += piece[1]
+            elif spec.func == "sum":
+                if not (type(piece[0]) is int and piece[0] == 0):
+                    state[0] += piece[0]
+            else:  # count / count_star
+                state[0] += piece[0]
+
+    def _finish(self, groups: Dict[tuple, List],
+                key_types: Optional[List[ColumnType]]) -> Batch:
+        if key_types is None:
+            key_types = [expr.result_type for _, expr in self.keys]
+        columns: Dict[str, ColumnVector] = {}
+        ordered = list(groups.items())
+        length = len(ordered)
+        for index, (name, _expr) in enumerate(self.keys):
+            values = [key[index] for key, _ in ordered]
+            columns[name] = ColumnVector.from_values(key_types[index], values)
+        for slot, spec in enumerate(self.aggregates):
+            values = [_finish_state(state[slot], spec) for _, state in ordered]
+            columns[spec.name] = ColumnVector.from_values(spec.output_type(),
+                                                          values)
+        return Batch(columns, length)
+
+
+class _SingleKeyState:
+    """Mergeable state of the vectorized single-key GROUP BY.
+
+    Group ids are assigned by first appearance; merging another state
+    walks its groups in *its* gid order, which equals the order the
+    serial loop would have discovered them in that batch — so merged
+    output rows keep the serial ordering, and the per-group float
+    accumulators receive the identical sequence of per-batch partials.
+    """
+
+    __slots__ = ("aggregates", "key_expr", "group_ids", "key_values",
+                 "key_type", "sums", "counts", "extremes")
+
+    def __init__(self, key_expr: Expression,
+                 aggregates: Sequence[AggregateSpec]):
+        self.key_expr = key_expr
+        self.aggregates = list(aggregates)
+        self.group_ids: Dict[object, int] = {}
+        self.key_values: List[object] = []
+        self.key_type: Optional[ColumnType] = None
         # per aggregate: parallel arrays indexed by group id
-        sums = [[] for _ in self.aggregates]
-        counts = [[] for _ in self.aggregates]
-        extremes = [[] for _ in self.aggregates]
+        self.sums: List[List[float]] = [[] for _ in self.aggregates]
+        self.counts: List[List[int]] = [[] for _ in self.aggregates]
+        self.extremes: List[List[Optional[float]]] = \
+            [[] for _ in self.aggregates]
 
-        def _ensure(gid: int) -> None:
-            for slot in range(len(self.aggregates)):
-                while len(sums[slot]) <= gid:
-                    sums[slot].append(0.0)
-                    counts[slot].append(0)
-                    extremes[slot].append(None)
+    def _ensure(self, gid: int) -> None:
+        for slot in range(len(self.aggregates)):
+            while len(self.sums[slot]) <= gid:
+                self.sums[slot].append(0.0)
+                self.counts[slot].append(0)
+                self.extremes[slot].append(None)
 
-        for batch in self.child.batches():
-            key_vector = key_expr.evaluate(batch)
-            if key_type is None:
-                key_type = key_vector.type
-            keys = key_vector.data
-            if keys.dtype == object:
-                local = np.empty(batch.length, dtype=np.int64)
-                for row in range(batch.length):
-                    value = (None if key_vector.null_mask[row]
-                             else keys[row])
-                    gid = group_ids.get(value)
+    def update(self, batch: Batch) -> None:
+        key_vector = self.key_expr.evaluate(batch)
+        if self.key_type is None:
+            self.key_type = key_vector.type
+        keys = key_vector.data
+        group_ids, key_values = self.group_ids, self.key_values
+        if keys.dtype == object:
+            local = np.empty(batch.length, dtype=np.int64)
+            for row in range(batch.length):
+                value = (None if key_vector.null_mask[row]
+                         else keys[row])
+                gid = group_ids.get(value)
+                if gid is None:
+                    gid = len(key_values)
+                    group_ids[value] = gid
+                    key_values.append(value)
+                local[row] = gid
+        else:
+            # factorize the non-null keys fully vectorized; NULL
+            # keys get a dedicated sentinel group (never let the
+            # unspecified values under the null mask leak phantom
+            # groups)
+            valid = ~key_vector.null_mask
+            local = np.empty(batch.length, dtype=np.int64)
+            if valid.any():
+                uniques, inverse = np.unique(keys[valid],
+                                             return_inverse=True)
+                mapping = np.empty(len(uniques), dtype=np.int64)
+                for index, value in enumerate(uniques):
+                    scalar = value.item()
+                    gid = group_ids.get(scalar)
                     if gid is None:
                         gid = len(key_values)
-                        group_ids[value] = gid
-                        key_values.append(value)
-                    local[row] = gid
-            else:
-                # factorize the non-null keys fully vectorized; NULL
-                # keys get a dedicated sentinel group (never let the
-                # unspecified values under the null mask leak phantom
-                # groups)
-                valid = ~key_vector.null_mask
-                local = np.empty(batch.length, dtype=np.int64)
-                if valid.any():
-                    uniques, inverse = np.unique(keys[valid],
-                                                 return_inverse=True)
-                    mapping = np.empty(len(uniques), dtype=np.int64)
-                    for index, value in enumerate(uniques):
-                        scalar = value.item()
-                        gid = group_ids.get(scalar)
-                        if gid is None:
-                            gid = len(key_values)
-                            group_ids[scalar] = gid
-                            key_values.append(scalar)
-                        mapping[index] = gid
-                    local[valid] = mapping[inverse]
-                if not valid.all():
-                    null_gid = group_ids.get(None)
-                    if null_gid is None:
-                        null_gid = len(key_values)
-                        group_ids[None] = null_gid
-                        key_values.append(None)
-                    local[~valid] = null_gid
-            num_groups = len(key_values)
-            _ensure(num_groups - 1)
-            for slot, spec in enumerate(self.aggregates):
-                self._vector_update(spec, slot, batch, local, num_groups,
-                                    sums, counts, extremes)
-
-        columns: Dict[str, ColumnVector] = {}
-        columns[key_name] = ColumnVector.from_values(
-            key_type or key_expr.result_type, key_values)
+                        group_ids[scalar] = gid
+                        key_values.append(scalar)
+                    mapping[index] = gid
+                local[valid] = mapping[inverse]
+            if not valid.all():
+                null_gid = group_ids.get(None)
+                if null_gid is None:
+                    null_gid = len(key_values)
+                    group_ids[None] = null_gid
+                    key_values.append(None)
+                local[~valid] = null_gid
+        num_groups = len(key_values)
+        self._ensure(num_groups - 1)
         for slot, spec in enumerate(self.aggregates):
-            columns[spec.name] = self._vector_finish(
-                spec, sums[slot], counts[slot], extremes[slot])
-        return Batch(columns, len(key_values))
+            self._vector_update(spec, slot, batch, local, num_groups)
 
-    def _vector_update(self, spec, slot, batch, local, num_groups,
-                       sums, counts, extremes) -> None:
+    def _vector_update(self, spec, slot, batch, local, num_groups) -> None:
+        sums, counts, extremes = self.sums, self.counts, self.extremes
         if spec.func == "count_star":
             add = np.bincount(local, minlength=num_groups)
             for gid in range(num_groups):
@@ -453,88 +675,66 @@ class HashAggregateOp(Operator):
                         else candidate > current):
                     extremes[slot][gid] = candidate
 
-    def _vector_finish(self, spec, sums, counts, extremes) -> ColumnVector:
-        out_type = spec.output_type()
-        if spec.func in ("count", "count_star"):
-            return ColumnVector.from_values(ColumnType.INT64, counts)
-        if spec.func == "avg":
-            values = [s / c if c else None for s, c in zip(sums, counts)]
-            return ColumnVector.from_values(ColumnType.FLOAT64, values)
-        if spec.func == "sum":
-            values = [int(s) if out_type == ColumnType.INT64 else s
-                      for s in sums]
-            return ColumnVector.from_values(out_type, values)
-        values = [
-            None if extreme is None
-            else int(extreme) if out_type in (ColumnType.INT64,
-                                              ColumnType.TIMESTAMP)
-            else extreme
-            for extreme in extremes
-        ]
-        return ColumnVector.from_values(out_type, values)
-
-    def _scalar_aggregate(self) -> Batch:
-        """Vectorized global aggregation (no GROUP BY): every state
-        update is a numpy reduction over the batch."""
-        states = [_new_state(spec) for spec in self.aggregates]
-        for batch in self.child.batches():
-            for slot, spec in enumerate(self.aggregates):
-                state = states[slot]
-                if spec.func == "count_star":
-                    state[0] += batch.length
-                    continue
-                vector = spec.expr.evaluate(batch)
-                valid = ~vector.null_mask
-                count = int(np.count_nonzero(valid))
-                if count == 0:
-                    continue
-                if spec.func == "count":
-                    state[0] += count
-                elif spec.func == "count_distinct":
-                    if vector.data.dtype == object:
-                        state[0].update(vector.data[valid].tolist())
-                    else:
-                        state[0].update(np.unique(vector.data[valid]).tolist())
-                elif spec.func == "sum":
-                    state[0] += vector.data[valid].sum().item() \
-                        if vector.data.dtype != object \
-                        else sum(vector.data[valid].tolist())
-                elif spec.func == "avg":
-                    state[0] += vector.data[valid].sum().item() \
-                        if vector.data.dtype != object \
-                        else sum(vector.data[valid].tolist())
-                    state[1] += count
-                elif spec.func in ("min", "max"):
-                    if vector.data.dtype == object:
-                        extreme = (min if spec.func == "min" else max)(
-                            vector.data[valid].tolist())
-                    else:
-                        reduce = (np.min if spec.func == "min" else np.max)
-                        extreme = reduce(vector.data[valid]).item()
-                    if state[0] is None or (
-                            extreme < state[0] if spec.func == "min"
-                            else extreme > state[0]):
-                        state[0] = extreme
-                else:
-                    raise ExecutionError(f"unknown aggregate {spec.func!r}")
-        groups = {(): states}
-        return self._finish(groups, [])
-
-    def _finish(self, groups: Dict[tuple, List],
-                key_types: Optional[List[ColumnType]]) -> Batch:
-        if key_types is None:
-            key_types = [expr.result_type for _, expr in self.keys]
-        columns: Dict[str, ColumnVector] = {}
-        ordered = list(groups.items())
-        length = len(ordered)
-        for index, (name, _expr) in enumerate(self.keys):
-            values = [key[index] for key, _ in ordered]
-            columns[name] = ColumnVector.from_values(key_types[index], values)
+    def merge(self, other: "_SingleKeyState") -> None:
+        if self.key_type is None:
+            self.key_type = other.key_type
+        remap = np.empty(len(other.key_values), dtype=np.int64)
+        for other_gid, value in enumerate(other.key_values):
+            gid = self.group_ids.get(value)
+            if gid is None:
+                gid = len(self.key_values)
+                self.group_ids[value] = gid
+                self.key_values.append(value)
+            remap[other_gid] = gid
+        self._ensure(len(self.key_values) - 1)
         for slot, spec in enumerate(self.aggregates):
-            values = [_finish_state(state[slot], spec) for _, state in ordered]
-            columns[spec.name] = ColumnVector.from_values(spec.output_type(),
-                                                          values)
-        return Batch(columns, length)
+            for other_gid in range(len(other.key_values)):
+                gid = int(remap[other_gid])
+                if spec.func in ("sum", "avg"):
+                    if other.counts[slot][other_gid]:
+                        self.sums[slot][gid] += other.sums[slot][other_gid]
+                        self.counts[slot][gid] += other.counts[slot][other_gid]
+                elif spec.func in ("count", "count_star"):
+                    self.counts[slot][gid] += other.counts[slot][other_gid]
+                else:  # min / max
+                    candidate = other.extremes[slot][other_gid]
+                    if candidate is None:
+                        continue
+                    current = self.extremes[slot][gid]
+                    if current is None or (
+                            candidate < current if spec.func == "min"
+                            else candidate > current):
+                        self.extremes[slot][gid] = candidate
+
+    def finish(self, key_name: str) -> Batch:
+        columns: Dict[str, ColumnVector] = {}
+        columns[key_name] = ColumnVector.from_values(
+            self.key_type or self.key_expr.result_type, self.key_values)
+        for slot, spec in enumerate(self.aggregates):
+            columns[spec.name] = _vector_finish(
+                spec, self.sums[slot], self.counts[slot], self.extremes[slot])
+        return Batch(columns, len(self.key_values))
+
+
+def _vector_finish(spec: AggregateSpec, sums, counts, extremes) -> ColumnVector:
+    out_type = spec.output_type()
+    if spec.func in ("count", "count_star"):
+        return ColumnVector.from_values(ColumnType.INT64, counts)
+    if spec.func == "avg":
+        values = [s / c if c else None for s, c in zip(sums, counts)]
+        return ColumnVector.from_values(ColumnType.FLOAT64, values)
+    if spec.func == "sum":
+        values = [int(s) if out_type == ColumnType.INT64 else s
+                  for s in sums]
+        return ColumnVector.from_values(out_type, values)
+    values = [
+        None if extreme is None
+        else int(extreme) if out_type in (ColumnType.INT64,
+                                          ColumnType.TIMESTAMP)
+        else extreme
+        for extreme in extremes
+    ]
+    return ColumnVector.from_values(out_type, values)
 
 
 def _scalar(vector: ColumnVector, row: int) -> object:
@@ -646,15 +846,42 @@ class TopKOp(Operator):
         self.limit = limit
 
     def batches(self) -> Iterator[Batch]:
-        import heapq
-
-        batch = concat_batches(list(self.child.batches()))
+        source = _parallel_source(self.child)
+        if source is not None:
+            batch = concat_batches(self._parallel_candidates(*source))
+        else:
+            batch = concat_batches(list(self.child.batches()))
         if batch is None:
             return
         sort_value = _make_sort_key(batch, self.keys)
         indices = heapq.nsmallest(self.limit, range(batch.length),
                                   key=sort_value)
         yield batch.take(np.array(indices, dtype=np.int64))
+
+    def _parallel_candidates(self, scan, transforms, morsels) -> List[Batch]:
+        """Per-morsel candidate selection: any globally-top-k row is in
+        its morsel's top-k, and re-sorting the picked indices restores
+        original row order — so the candidate stream is an
+        order-preserving subsequence of the serial input and the final
+        ``nsmallest`` (stable tie-breaking included) is bit-identical.
+        """
+
+        def task(morsel):
+            batch = _apply_transforms(scan.resolve_morsel(morsel),
+                                      transforms)
+            if batch is None:
+                return None
+            if batch.length <= self.limit:
+                return batch
+            local = _make_sort_key(batch, self.keys)
+            picks = heapq.nsmallest(self.limit, range(batch.length),
+                                    key=local)
+            picks.sort()
+            return batch.take(np.array(picks, dtype=np.int64))
+
+        pieces = run_ordered([_bind(task, morsel) for morsel in morsels],
+                             scan.parallelism)
+        return [piece for piece in pieces if piece is not None]
 
 
 class _Lowest:

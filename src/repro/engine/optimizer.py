@@ -492,6 +492,8 @@ class Planner:
                 range_prunes=self._range_prunes(source, item.filters),
                 enable_skipping=self.options.enable_skipping,
                 batch_rows=self.options.batch_rows,
+                parallelism=self.options.parallelism,
+                use_cache=self.options.tile_cache,
             )
             self.scans.append(scan)
             return scan

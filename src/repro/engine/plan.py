@@ -8,15 +8,22 @@ filters, left joins, grouping, aggregation and presentation clauses.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.jsonpath import KeyPath
 from repro.core.types import ColumnType
 from repro.engine.expressions import ColumnRef, Expression
+from repro.engine.morsels import default_parallelism as _default_parallelism
 from repro.engine.operators import AggregateSpec, JoinKind, SortKey
 from repro.engine.scan import AccessRequest
 from repro.storage.relation import Relation
+
+
+def _default_tile_cache() -> bool:
+    return os.environ.get("REPRO_TILE_CACHE", "").lower() in (
+        "1", "true", "yes", "on")
 
 
 def alias_of_column(name: str) -> str:
@@ -142,3 +149,9 @@ class QueryOptions:
     #: satisfy a pushed comparison (Data Blocks-style extension of
     #: Section 4.8 skipping).
     enable_zone_maps: bool = True
+    #: morsel-driven parallelism: worker threads per query (1 = the
+    #: serial engine).  Results are bit-identical at any setting.
+    parallelism: int = field(default_factory=_default_parallelism)
+    #: share resolved fallback columns across queries through the
+    #: process-wide LRU (server default; embedded opt-in).
+    tile_cache: bool = field(default_factory=_default_tile_cache)

@@ -21,7 +21,9 @@ entirely (Section 4.8).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, fields
+from functools import partial
 from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -31,10 +33,12 @@ from repro.core.jsonpath import KeyPath
 from repro.core.types import ColumnType
 from repro.engine.batch import Batch
 from repro.engine.expressions import Expression
+from repro.engine.morsels import Morsel, run_ordered
 from repro.jsonb.access import JsonbValue
 from repro.storage.column import ColumnBuilder, ColumnVector
 from repro.storage.formats import StorageFormat
 from repro.storage.relation import Relation
+from repro.storage.tile_cache import GLOBAL_TILE_CACHE, make_key
 from repro.tiles.tile import Tile
 
 ROWID_PATH = KeyPath(("#rowid",))
@@ -59,12 +63,29 @@ class AccessRequest:
 
 @dataclass
 class ScanCounters:
-    """Observability for the Section 4.8 / Table 5 experiments."""
+    """Observability for the Section 4.8 / Table 5 experiments.
+
+    Counters are mergeable: parallel workers accumulate into
+    thread-local instances and fold them into the scan's shared
+    instance under a lock (all fields are commutative sums).
+    """
 
     tiles_total: int = 0
     tiles_skipped: int = 0
     rows_scanned: int = 0
     fallback_lookups: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def merge(self, other: "ScanCounters") -> "ScanCounters":
+        for field in fields(self):
+            setattr(self, field.name,
+                    getattr(self, field.name) + getattr(other, field.name))
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field.name: getattr(self, field.name)
+                for field in fields(self)}
 
 
 @dataclass(frozen=True)
@@ -103,7 +124,9 @@ class TableScan:
                  skip_paths: Sequence[KeyPath] = (),
                  range_prunes: Sequence[RangePrune] = (),
                  enable_skipping: bool = True,
-                 batch_rows: int = 4096):
+                 batch_rows: int = 4096,
+                 parallelism: int = 1,
+                 use_cache: bool = False):
         self.relation = relation
         self.requests = list(requests)
         self.predicate = predicate
@@ -111,14 +134,25 @@ class TableScan:
         self.range_prunes = list(range_prunes)
         self.enable_skipping = enable_skipping
         self.batch_rows = batch_rows
+        self.parallelism = max(1, parallelism)
+        self.use_cache = use_cache
         self.counters = ScanCounters()
+        self._counters_lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    # morsel enumeration + dispatch
 
-    def batches(self) -> Iterator[Batch]:
+    def morsels(self) -> List[Morsel]:
+        """Chop the relation into batch-sized morsels, applying tile
+        skipping (Section 4.8) at enumeration time so skipped tiles
+        never reach a worker."""
+        morsels: List[Morsel] = []
         if self.relation.format == StorageFormat.JSON:
-            yield from self._scan_text()
-            return
+            rows = self.relation.text_rows or []
+            for start in range(0, len(rows), self.batch_rows):
+                stop = min(start + self.batch_rows, len(rows))
+                morsels.append(Morsel(len(morsels), None, start, stop))
+            return morsels
         for tile in self.relation.tiles:
             self.counters.tiles_total += 1
             if self._can_skip(tile):
@@ -127,10 +161,36 @@ class TableScan:
             self.counters.rows_scanned += tile.row_count
             for start in range(0, tile.row_count, self.batch_rows):
                 stop = min(start + self.batch_rows, tile.row_count)
-                batch = self._resolve_tile(tile, start, stop)
-                batch = self._apply_predicate(batch)
+                morsels.append(Morsel(len(morsels), tile, start, stop))
+        return morsels
+
+    def resolve_morsel(self, morsel: Morsel) -> Batch:
+        """Scan + predicate for one morsel; safe to call from any
+        worker thread (counters fold under a lock)."""
+        local = ScanCounters()
+        if morsel.tile is None:
+            batch = self._resolve_text(morsel.start, morsel.stop, local)
+        else:
+            batch = self._resolve_tile(morsel.tile, morsel.start,
+                                       morsel.stop, local)
+        batch = self._apply_predicate(batch)
+        with self._counters_lock:
+            self.counters.merge(local)
+        return batch
+
+    def batches(self) -> Iterator[Batch]:
+        morsels = self.morsels()
+        if self.parallelism > 1 and len(morsels) > 1:
+            tasks = [partial(self.resolve_morsel, morsel)
+                     for morsel in morsels]
+            for batch in run_ordered(tasks, self.parallelism):
                 if batch.length:
                     yield batch
+            return
+        for morsel in morsels:
+            batch = self.resolve_morsel(morsel)
+            if batch.length:
+                yield batch
 
     def _can_skip(self, tile: Tile) -> bool:
         if not self.enable_skipping:
@@ -162,32 +222,43 @@ class TableScan:
     # ------------------------------------------------------------------
     # resolution per tile
 
-    def _resolve_tile(self, tile: Tile, start: int, stop: int) -> Batch:
+    def _resolve_tile(self, tile: Tile, start: int, stop: int,
+                      counters: ScanCounters) -> Batch:
         columns: Dict[str, ColumnVector] = {}
         for request in self.requests:
             columns[request.name] = self._resolve_request(tile, request,
-                                                          start, stop)
+                                                          start, stop,
+                                                          counters)
         return Batch(columns, stop - start)
 
     def _resolve_request(self, tile: Tile, request: AccessRequest,
-                         start: int, stop: int) -> ColumnVector:
+                         start: int, stop: int,
+                         counters: ScanCounters) -> ColumnVector:
         if request.path == ROWID_PATH:
             data = np.arange(tile.first_row + start, tile.first_row + stop,
                              dtype=np.int64)
             return ColumnVector(ColumnType.INT64, data)
         column = tile.column(request.path)
         if column is None:
-            return self._fallback_all(tile, request, start, stop)
+            return self._fallback_all(tile, request, start, stop, counters)
         meta = tile.header.columns[request.path]
         direct = self._convert_column(column, meta, request, start, stop)
         if direct is None:
-            return self._fallback_all(tile, request, start, stop)
+            return self._fallback_all(tile, request, start, stop, counters)
         if meta.has_type_conflicts and direct.null_mask.any():
-            # the direct vector may alias tile storage: copy before the
-            # fallback patches outlier values in
-            direct = ColumnVector(direct.type, direct.data.copy(),
-                                  direct.null_mask)
-            self._fallback_conflicts(tile, request, direct, start)
+            # Section 3.4: only *stored* NULL slots mark "consult the
+            # JSONB"; NULLs the cast itself introduced (out-of-range
+            # float, unparseable string) are genuine SQL NULLs.  When
+            # the slice has no stored NULL, skip the fallback — and the
+            # defensive copy — entirely.
+            stored_nulls = column.null_mask[start:stop]
+            if stored_nulls.any():
+                # the direct vector may alias tile storage: copy before
+                # the fallback patches outlier values in
+                direct = ColumnVector(direct.type, direct.data.copy(),
+                                      direct.null_mask)
+                self._fallback_conflicts(tile, request, direct, start,
+                                         stored_nulls, counters)
         return direct
 
     def _convert_column(self, column: ColumnVector, meta, request,
@@ -261,25 +332,50 @@ class TableScan:
     # JSONB / text fallbacks
 
     def _fallback_all(self, tile: Tile, request: AccessRequest,
-                      start: int, stop: int) -> ColumnVector:
+                      start: int, stop: int,
+                      counters: ScanCounters) -> ColumnVector:
+        if self.use_cache:
+            key = make_key(self.relation.name, tile.uid, request.path,
+                           request.target, request.as_text)
+            cached = GLOBAL_TILE_CACHE.lookup(key)
+            if cached is None:
+                counters.cache_misses += 1
+                # decode the whole tile once so every later slice — in
+                # this query or any concurrent one — is a cache hit
+                cached = self._decode_fallback(tile, request, 0,
+                                               tile.row_count, counters)
+                GLOBAL_TILE_CACHE.store(key, cached)
+            else:
+                counters.cache_hits += 1
+            if start == 0 and stop == tile.row_count:
+                return cached
+            return ColumnVector(cached.type, cached.data[start:stop],
+                                cached.null_mask[start:stop])
+        return self._decode_fallback(tile, request, start, stop, counters)
+
+    def _decode_fallback(self, tile: Tile, request: AccessRequest,
+                         start: int, stop: int,
+                         counters: ScanCounters) -> ColumnVector:
         result_type = (ColumnType.JSONB if request.target == ColumnType.JSONB
                        else request.target)
         builder = ColumnBuilder(result_type)
         path = request.path
-        self.counters.fallback_lookups += stop - start
+        counters.fallback_lookups += stop - start
         for row in range(start, stop):
             value = JsonbValue(tile.jsonb_rows[row]).get_path(path)
             builder.append(_typed_from_jsonb(value, request))
         return builder.finish()
 
     def _fallback_conflicts(self, tile: Tile, request: AccessRequest,
-                            vector: ColumnVector, start: int) -> None:
+                            vector: ColumnVector, start: int,
+                            stored_nulls: np.ndarray,
+                            counters: ScanCounters) -> None:
         """Section 3.4: on access, traverse the binary representation
-        when the extracted column value is NULL."""
+        when the *stored* extracted value is NULL (a type outlier)."""
         path = request.path
-        for local in np.flatnonzero(vector.null_mask):
+        for local in np.flatnonzero(stored_nulls):
             value = JsonbValue(tile.jsonb_rows[start + int(local)]).get_path(path)
-            self.counters.fallback_lookups += 1
+            counters.fallback_lookups += 1
             if value is None:
                 continue
             typed = _typed_from_jsonb(value, request)
@@ -288,29 +384,27 @@ class TableScan:
             vector.data[local] = typed
             vector.null_mask[local] = False
 
-    def _scan_text(self) -> Iterator[Batch]:
+    def _resolve_text(self, start: int, stop: int,
+                      counters: ScanCounters) -> Batch:
         # Raw text storage (PostgreSQL `json` / Hyper): every access
         # expression re-parses the document string — the full-parse
         # cost the paper's JSON competitor pays per lookup.
         rows = self.relation.text_rows or []
-        for start in range(0, len(rows), self.batch_rows):
-            chunk = rows[start : start + self.batch_rows]
-            self.counters.rows_scanned += len(chunk)
-            columns: Dict[str, ColumnVector] = {}
-            for request in self.requests:
-                if request.path == ROWID_PATH:
-                    data = np.arange(start, start + len(chunk), dtype=np.int64)
-                    columns[request.name] = ColumnVector(ColumnType.INT64, data)
-                    continue
-                builder = ColumnBuilder(request.target)
-                for row in chunk:
-                    raw = request.path.lookup(json.loads(row))
-                    builder.append(_typed_from_python(raw, request))
-                self.counters.fallback_lookups += len(chunk)
-                columns[request.name] = builder.finish()
-            batch = self._apply_predicate(Batch(columns, len(chunk)))
-            if batch.length:
-                yield batch
+        chunk = rows[start:stop]
+        counters.rows_scanned += len(chunk)
+        columns: Dict[str, ColumnVector] = {}
+        for request in self.requests:
+            if request.path == ROWID_PATH:
+                data = np.arange(start, start + len(chunk), dtype=np.int64)
+                columns[request.name] = ColumnVector(ColumnType.INT64, data)
+                continue
+            builder = ColumnBuilder(request.target)
+            for row in chunk:
+                raw = request.path.lookup(json.loads(row))
+                builder.append(_typed_from_python(raw, request))
+            counters.fallback_lookups += len(chunk)
+            columns[request.name] = builder.finish()
+        return Batch(columns, len(chunk))
 
 
 def _float_to_int64(data: np.ndarray, nulls: np.ndarray) -> ColumnVector:

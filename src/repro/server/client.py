@@ -15,6 +15,7 @@ line in, one per line out.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import socket
 from typing import List, Optional, Sequence, Tuple
@@ -94,10 +95,10 @@ class ServerClient:
         if options:
             fields["options"] = options
         response = self._call("query", **fields)
-        counters = ScanCounters(
-            tiles_total=response["counters"]["tiles_total"],
-            tiles_skipped=response["counters"]["tiles_skipped"],
-            rows_scanned=response["counters"]["rows_scanned"])
+        wire = response.get("counters", {})
+        known = {field.name for field in dataclasses.fields(ScanCounters)}
+        counters = ScanCounters(**{key: value for key, value in wire.items()
+                                   if key in known})
         return QueryResult(columns=response["columns"],
                            rows=[tuple(row) for row in response["rows"]],
                            counters=counters)

@@ -31,14 +31,19 @@ from repro.server.locks import TableLockRegistry
 _OPTION_FIELDS = {field.name for field in dataclasses.fields(QueryOptions)}
 
 
-def options_from_dict(raw: Optional[dict]) -> QueryOptions:
+def options_from_dict(raw: Optional[dict],
+                      defaults: Optional[QueryOptions] = None) -> QueryOptions:
     """Build :class:`QueryOptions` from a wire dict, ignoring unknown
-    keys so older clients keep working against newer servers."""
-    if not raw:
-        return QueryOptions()
-    known = {key: value for key, value in raw.items()
+    keys so older clients keep working against newer servers.
+
+    *defaults* supplies the server's execution policy (query
+    parallelism, resolved-tile cache) for every key the client leaves
+    unspecified — a client can still pin any option explicitly.
+    """
+    base = defaults if defaults is not None else QueryOptions()
+    known = {key: value for key, value in (raw or {}).items()
              if key in _OPTION_FIELDS}
-    return QueryOptions(**known)
+    return dataclasses.replace(base, **known)
 
 
 def _tables_of_ref(ref: TableRefAst, cte_names: frozenset) -> Set[str]:

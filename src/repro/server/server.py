@@ -41,8 +41,11 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.database import Database
+from repro.engine.morsels import pool_stats
+from repro.engine.plan import QueryOptions
 from repro.errors import ReproError
 from repro.storage.formats import StorageFormat
+from repro.storage.tile_cache import GLOBAL_TILE_CACHE
 from repro.storage.persist import (
     read_relation_extra,
     save_relation,
@@ -83,6 +86,8 @@ class JsonTilesServer:
                  config: Optional[ExtractionConfig] = None,
                  wal_sync: bool = True,
                  query_workers: int = 8,
+                 parallelism: int = 1,
+                 cache_mb: float = 64.0,
                  checkpoint_interval: Optional[float] = None):
         self.data_dir = Path(data_dir)
         self.host = host
@@ -91,6 +96,14 @@ class JsonTilesServer:
         self.config = config or ExtractionConfig()
         self.wal_sync = wal_sync
         self.query_workers = query_workers
+        #: morsel workers per query; combined with the resolved-tile
+        #: cache these are the server's execution-policy defaults for
+        #: every query that doesn't pin its own options
+        self.parallelism = max(1, parallelism)
+        self.cache_mb = cache_mb
+        self.default_options = QueryOptions(
+            parallelism=self.parallelism,
+            tile_cache=cache_mb > 0)
         self.checkpoint_interval = checkpoint_interval
 
         self.db: Optional[Database] = None
@@ -162,6 +175,9 @@ class JsonTilesServer:
                     _config_from_dict(entry.get("config"), self.config))
         for name in sorted(snapshot_names | set(catalog)):
             self._base[name] = self.db.tables[name]
+            # snapshot reload built fresh Tile objects: entries keyed
+            # on the previous incarnation's uids can never be served
+            GLOBAL_TILE_CACHE.invalidate_table(name)
         self.wals = WalManager(self.data_dir / "wal", sync=self.wal_sync)
         for name in self.wals.existing_tables():
             relation = self._base.get(name)
@@ -183,6 +199,8 @@ class JsonTilesServer:
     # lifecycle
 
     async def start(self) -> None:
+        if self.cache_mb > 0:
+            GLOBAL_TILE_CACHE.set_capacity(int(self.cache_mb * 2**20))
         self._open_database()
         self.executor = QueryExecutor(self.db, self.locks,
                                       max_workers=self.query_workers)
@@ -482,7 +500,8 @@ class JsonTilesServer:
         return protocol.ok_response(request_id, sealed_tables=sealed)
 
     async def _cmd_query(self, request: dict, request_id) -> dict:
-        options = options_from_dict(request.get("options"))
+        options = options_from_dict(request.get("options"),
+                                    self.default_options)
         result = await asyncio.wrap_future(
             self.executor.submit(request["sql"], options))
         self._bump("queries")
@@ -490,13 +509,12 @@ class JsonTilesServer:
             request_id,
             columns=result.columns,
             rows=[list(row) for row in result.rows],
-            counters={"tiles_total": result.counters.tiles_total,
-                      "tiles_skipped": result.counters.tiles_skipped,
-                      "rows_scanned": result.counters.rows_scanned},
+            counters=result.counters.as_dict(),
         )
 
     async def _cmd_explain(self, request: dict, request_id) -> dict:
-        options = options_from_dict(request.get("options"))
+        options = options_from_dict(request.get("options"),
+                                    self.default_options)
         plan = await asyncio.wrap_future(self.executor.submit_call(
             self.executor.explain, request["sql"], options))
         return protocol.ok_response(request_id, plan=plan)
@@ -513,13 +531,19 @@ class JsonTilesServer:
                 "pending": relation.pending_inserts,
                 "tiles": len(relation.tiles),
                 "wal_records": self.wals.for_table(table).record_count,
+                "scan": dict(relation.scan_totals),
             }
         with self._counters_lock:
             counters = dict(self._counters)
         counters["connections_active"] = self._connections_active
+        uptime = time.monotonic() - self._started_at
+        pool = pool_stats()
+        wall = max(uptime, 1e-9) * max(pool["workers"], 1)
+        pool["utilization"] = round(min(1.0, pool["busy_seconds"] / wall), 4)
         return protocol.ok_response(
             request_id, tables=tables, counters=counters,
-            uptime_s=round(time.monotonic() - self._started_at, 3))
+            cache=GLOBAL_TILE_CACHE.stats(), pool=pool,
+            uptime_s=round(uptime, 3))
 
     async def _cmd_checkpoint(self, request: dict, request_id) -> dict:
         written = await self._loop.run_in_executor(self._io_pool,

@@ -25,6 +25,7 @@ from repro.jsonb import decode as jsonb_decode
 from repro.jsonb import encode as jsonb_encode
 from repro.stats.table_stats import TableStatistics
 from repro.storage.formats import StorageFormat
+from repro.storage.tile_cache import GLOBAL_TILE_CACHE
 from repro.tiles.extractor import ExtractionConfig, build_tile
 from repro.tiles.extractor import _materialize_value  # shared coercion
 from repro.tiles.tile import Tile
@@ -65,6 +66,21 @@ class Relation:
         self.auto_seal = True
         #: callbacks ``(relation, tile)`` fired after a tile is sealed
         self._seal_hooks: List[Callable[["Relation", Tile], None]] = []
+        #: accumulated per-table scan counters (the engine's executor
+        #: records every finished scan here; served by `stats`)
+        self.scan_totals: Dict[str, int] = {}
+        self._scan_totals_lock = threading.Lock()
+
+    def record_scan(self, counters) -> None:
+        """Fold one finished scan's counters into the running totals.
+
+        *counters* is anything with ``as_dict()`` (duck-typed so
+        storage stays import-independent of the engine).
+        """
+        with self._scan_totals_lock:
+            for name, value in counters.as_dict().items():
+                self.scan_totals[name] = self.scan_totals.get(name, 0) + value
+            self.scan_totals["queries"] = self.scan_totals.get("queries", 0) + 1
 
     # ------------------------------------------------------------------
     # shape
@@ -207,6 +223,9 @@ class Relation:
         tile = self.tile_of_row(row_id)
         local = row_id - tile.first_row
         tile.jsonb_rows[local] = jsonb_encode(new_document)
+        # the only in-place tile mutation in the system: resolved
+        # fallback columns cached for this tile are now stale
+        GLOBAL_TILE_CACHE.invalidate_tile(tile.uid)
         if not self.format.extracts_columns:
             return
 
@@ -252,6 +271,9 @@ class Relation:
         index = self.tiles.index(tile)
         self.tiles[index] = rebuilt
         self._outlier_counts.pop(tile.header.tile_number, None)
+        # the rebuilt tile has a fresh uid; entries of the replaced one
+        # can never be served again, so reclaim their memory eagerly
+        GLOBAL_TILE_CACHE.invalidate_tile(tile.uid)
 
     # ------------------------------------------------------------------
     # size accounting (Table 6)

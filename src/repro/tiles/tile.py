@@ -9,6 +9,7 @@ type-conflicting NULL slots) traverse the JSONB bytes per tuple.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -18,9 +19,14 @@ from repro.jsonb.access import JsonbValue
 from repro.storage.column import ColumnVector
 from repro.tiles.header import TileHeader
 
+#: process-unique tile identities; sealing, recomputation and
+#: checkpoint reload all build new Tile objects, so a uid never
+#: refers to stale contents — the resolved-tile cache keys on it
+_uid_counter = itertools.count(1)
+
 
 class Tile:
-    __slots__ = ("header", "columns", "jsonb_rows", "first_row")
+    __slots__ = ("header", "columns", "jsonb_rows", "first_row", "uid")
 
     def __init__(self, header: TileHeader, columns: Dict[KeyPath, ColumnVector],
                  jsonb_rows: List[bytes], first_row: int = 0):
@@ -28,6 +34,7 @@ class Tile:
         self.columns = columns
         self.jsonb_rows = jsonb_rows
         self.first_row = first_row
+        self.uid = next(_uid_counter)
 
     @property
     def row_count(self) -> int:
