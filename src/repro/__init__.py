@@ -14,11 +14,14 @@ Public API
   threshold, mining budget, date detection and reordering switches.
 * :class:`QueryOptions` — skipping / statistics / cast-rewriting
   ablation switches.
+* :class:`MaintenanceConfig` — thresholds of the online maintenance
+  daemon (``Database.start_maintenance()``, ``serve --maintenance``).
 * :mod:`repro.jsonb` — the binary JSON format of Section 5.
 """
 
 from repro.database import Database
 from repro.engine.plan import QueryOptions
+from repro.maintenance import MaintenanceConfig, MaintenanceDaemon
 from repro.storage.formats import StorageFormat
 from repro.storage.loader import load_documents, load_json_lines
 from repro.storage.relation import Relation
@@ -29,6 +32,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Database",
     "ExtractionConfig",
+    "MaintenanceConfig",
+    "MaintenanceDaemon",
     "QueryOptions",
     "Relation",
     "StorageFormat",

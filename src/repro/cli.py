@@ -152,6 +152,16 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-wal-sync", action="store_true",
                         help="skip fsync on insert acknowledgement "
                              "(faster ingest, weaker durability)")
+    parser.add_argument("--maintenance", action="store_true",
+                        help="run the online maintenance daemon: tile "
+                             "health tracking, background §3.2 "
+                             "partition reordering and re-extraction "
+                             "(tunable via REPRO_MAINT_* environment "
+                             "variables)")
+    parser.add_argument("--maintenance-interval", type=float,
+                        default=None, metavar="SECONDS",
+                        help="seconds between maintenance cycles "
+                             "(default 1.0, or REPRO_MAINT_INTERVAL)")
     return parser
 
 
@@ -162,6 +172,12 @@ def serve_main(argv: List[str], out) -> int:
     config = ExtractionConfig(tile_size=args.tile_size,
                               partition_size=args.partition_size,
                               threshold=args.threshold)
+    maintenance_config = None
+    if args.maintenance:
+        from repro.maintenance import MaintenanceConfig
+
+        maintenance_config = MaintenanceConfig.from_env(
+            interval_s=args.maintenance_interval)
     try:
         run_server(
             args.data_dir, args.host, args.port,
@@ -172,6 +188,8 @@ def serve_main(argv: List[str], out) -> int:
             parallelism=args.workers,
             cache_mb=args.cache_mb,
             checkpoint_interval=args.checkpoint_interval or None,
+            maintenance=args.maintenance,
+            maintenance_config=maintenance_config,
         )
     except OSError as exc:
         print(f"error: {exc}", file=out)

@@ -45,6 +45,8 @@ class Database:
         #: :meth:`close` checkpoints before releasing the tables.
         self.directory: Optional[Path] = \
             Path(directory) if directory is not None else None
+        #: the embedded maintenance daemon, see :meth:`start_maintenance`
+        self._maintenance = None
 
     # ------------------------------------------------------------------
 
@@ -128,9 +130,39 @@ class Database:
 
     def close(self) -> None:
         """Checkpoint (when durable) and release all tables."""
+        self.stop_maintenance()
         if self.directory is not None:
             self.checkpoint()
         self.tables.clear()
+
+    # ------------------------------------------------------------------
+    # online maintenance (DESIGN.md §6d)
+
+    def start_maintenance(self, config=None):
+        """Start the embedded background maintenance daemon: tile
+        health tracking, Section 3.2 partition reordering and tile
+        re-extraction on a rate-limited thread.  *config* is a
+        :class:`~repro.maintenance.MaintenanceConfig` (defaults come
+        from the ``REPRO_MAINT_*`` environment).  Returns the daemon —
+        idempotent while one is running."""
+        from repro.maintenance import MaintenanceConfig, MaintenanceDaemon
+
+        if self._maintenance is None:
+            self._maintenance = MaintenanceDaemon(
+                lambda: dict(self.tables),
+                config or MaintenanceConfig.from_env())
+            self._maintenance.start()
+        return self._maintenance
+
+    def stop_maintenance(self) -> None:
+        daemon, self._maintenance = self._maintenance, None
+        if daemon is not None:
+            daemon.stop()
+
+    @property
+    def maintenance(self):
+        """The running embedded daemon, or None."""
+        return self._maintenance
 
     # ------------------------------------------------------------------
 

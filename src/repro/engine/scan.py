@@ -74,6 +74,11 @@ class ScanCounters:
     tiles_skipped: int = 0
     rows_scanned: int = 0
     fallback_lookups: int = 0
+    #: (tile, access) resolutions served entirely from the JSONB/text
+    #: fallback — no extracted column existed for the requested path.
+    #: The maintenance subsystem reads this as direct evidence that a
+    #: table degraded to fallback scans (DESIGN.md "Online maintenance").
+    fallback_tiles: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -334,6 +339,7 @@ class TableScan:
     def _fallback_all(self, tile: Tile, request: AccessRequest,
                       start: int, stop: int,
                       counters: ScanCounters) -> ColumnVector:
+        counters.fallback_tiles += 1
         if self.use_cache:
             key = make_key(self.relation.name, tile.uid, request.path,
                            request.target, request.as_text)
@@ -403,6 +409,7 @@ class TableScan:
                 raw = request.path.lookup(json.loads(row))
                 builder.append(_typed_from_python(raw, request))
             counters.fallback_lookups += len(chunk)
+            counters.fallback_tiles += 1
             columns[request.name] = builder.finish()
         return Batch(columns, len(chunk))
 

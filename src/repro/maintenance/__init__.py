@@ -1,0 +1,40 @@
+"""Online adaptive storage maintenance (DESIGN.md §6d).
+
+The paper's robustness machinery — Section 3.2 tuple reordering and
+Section 4 incremental tile recomputation — assumes the storage layer
+*continuously* repairs itself as heterogeneous data arrives.  This
+package closes that loop as a background subsystem:
+
+* :mod:`repro.maintenance.health` — per-tile/per-partition health
+  records fed by Relation storage events and PR 2's ScanCounters;
+* :mod:`repro.maintenance.policy` — configurable thresholds
+  (:class:`MaintenanceConfig`, ``REPRO_MAINT_*``) turning health into
+  a prioritized queue of ``REORDER_PARTITION`` / ``RECOMPUTE_TILE`` /
+  ``COMPACT_BUFFER`` actions;
+* :mod:`repro.maintenance.daemon` — the rate-limited background
+  executor, embedded (``Database.start_maintenance()``) or inside
+  ``repro.server`` with WAL journaling and backpressure.
+"""
+
+from repro.maintenance.daemon import (
+    MaintenanceDaemon,
+    MaintenanceJournal,
+)
+from repro.maintenance.health import HealthTracker, PartitionHealth
+from repro.maintenance.policy import (
+    ActionKind,
+    MaintenanceAction,
+    MaintenanceConfig,
+    MaintenancePlanner,
+)
+
+__all__ = [
+    "ActionKind",
+    "HealthTracker",
+    "MaintenanceAction",
+    "MaintenanceConfig",
+    "MaintenanceDaemon",
+    "MaintenanceJournal",
+    "MaintenancePlanner",
+    "PartitionHealth",
+]

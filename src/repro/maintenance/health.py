@@ -1,0 +1,205 @@
+"""Tile and partition health tracking — the sensor half of
+``repro.maintenance``.
+
+A :class:`HealthTracker` observes one relation through two channels:
+
+* **storage events** (:meth:`Relation.add_event_hook`): tile seals,
+  in-place updates, tile recomputations and partition reorganizations
+  maintain sticky per-partition counters (updates, rows since the last
+  reorganization, reorder attempts, cooldown);
+* **scan totals** (PR 2's mergeable ScanCounters, folded into
+  ``Relation.scan_totals`` by the engine): the delta of
+  ``fallback_tiles`` over ``tiles_scanned`` between refreshes is the
+  observed *fallback-probe rate* — direct evidence that queries are
+  degrading to JSONB/text fallback scans because extraction is stale.
+
+The *extracted fraction* itself is never cached: :meth:`snapshot`
+measures it live from the tiles (row-weighted mean of each tile's
+``len(columns) / len(key_counts)``), so a reorganization is reflected
+immediately and the metric can never drift from storage reality.
+
+The tracker is a pure observer: event hooks only mutate its own
+dictionaries under its own lock, and :class:`Relation` swallows hook
+exceptions, so health tracking can never break the foreground
+insert/update/seal path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, List
+
+from repro.storage.relation import Relation
+from repro.tiles.tile import Tile
+
+
+@dataclasses.dataclass
+class PartitionHealth:
+    """Observed state of one partition (the Section 3.2 reorder unit).
+
+    ``extraction`` is the row-weighted mean of the member tiles'
+    extracted fraction; ``attempts`` counts reorder attempts since the
+    partition's content last changed (seal / recompute reset it — the
+    satellite fix that keeps recomputed partitions re-eligible);
+    ``cooldown`` is the number of planner cycles to skip before the
+    next attempt.
+    """
+
+    partition: int
+    tiles: int = 0
+    rows: int = 0
+    extraction: float = 1.0
+    updates: int = 0
+    rows_since_reorg: int = 0
+    attempts: int = 0
+    cooldown: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "partition": self.partition,
+            "tiles": self.tiles,
+            "rows": self.rows,
+            "extraction": round(self.extraction, 4),
+            "updates": self.updates,
+            "rows_since_reorg": self.rows_since_reorg,
+            "attempts": self.attempts,
+            "cooldown": self.cooldown,
+        }
+
+
+class HealthTracker:
+    """Per-relation health records feeding the maintenance planner."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self._lock = threading.Lock()
+        self._partitions: Dict[int, PartitionHealth] = {}
+        #: in-place updates per tile number since that tile was last
+        #: rebuilt — the RECOMPUTE_TILE trigger
+        self._tile_updates: Dict[int, int] = {}
+        self._scan_seen = {"fallback_tiles": 0, "tiles_scanned": 0}
+        self._fallback_rate = 0.0
+        relation.add_event_hook(self._on_event)
+
+    # ------------------------------------------------------------------
+    # event feed
+
+    def _record_locked(self, partition: int) -> PartitionHealth:
+        record = self._partitions.get(partition)
+        if record is None:
+            record = PartitionHealth(partition)
+            self._partitions[partition] = record
+        return record
+
+    def _partition_of(self, tile: Tile) -> int:
+        size = max(1, self.relation.config.partition_size)
+        return tile.header.tile_number // size
+
+    def _on_event(self, event: str, relation: Relation,
+                  payload: object) -> None:
+        with self._lock:
+            if event == "seal":
+                record = self._record_locked(self._partition_of(payload))
+                record.rows_since_reorg += payload.row_count
+                # fresh content: the partition may be reorderable again
+                record.attempts = 0
+            elif event == "update":
+                number = payload.header.tile_number
+                self._tile_updates[number] = \
+                    self._tile_updates.get(number, 0) + 1
+                self._record_locked(self._partition_of(payload)).updates += 1
+            elif event == "recompute":
+                # a recomputed tile changed its partition's content, so
+                # the partition must become re-eligible for Section 3.2
+                # reordering instead of staying pinned "attempted"
+                self._tile_updates.pop(payload.header.tile_number, None)
+                record = self._record_locked(self._partition_of(payload))
+                record.attempts = 0
+                record.cooldown = 0
+                record.updates = 0
+            elif event == "reorganize":
+                record = self._record_locked(int(payload))
+                record.rows_since_reorg = 0
+                record.updates = 0
+        if event == "reorganize":
+            # the partition's tiles were rebuilt: their update history
+            # no longer describes any live tile
+            numbers = [tile.header.tile_number
+                       for tile in relation.partition_tiles(int(payload))]
+            with self._lock:
+                for number in numbers:
+                    self._tile_updates.pop(number, None)
+
+    # ------------------------------------------------------------------
+    # scan signal
+
+    def refresh_scan_signal(self) -> float:
+        """Fold the engine's scan totals into the fallback-probe rate:
+        fraction of ``(tile, access)`` resolutions since the previous
+        refresh that were served from the JSONB/text fallback."""
+        totals = self.relation.scan_totals
+        fallback = int(totals.get("fallback_tiles", 0))
+        scanned = int(totals.get("tiles_scanned", 0))
+        with self._lock:
+            delta_fallback = fallback - self._scan_seen["fallback_tiles"]
+            delta_scanned = scanned - self._scan_seen["tiles_scanned"]
+            self._scan_seen = {"fallback_tiles": fallback,
+                               "tiles_scanned": scanned}
+            if delta_scanned > 0:
+                self._fallback_rate = max(
+                    0.0, min(1.0, delta_fallback / delta_scanned))
+            return self._fallback_rate
+
+    @property
+    def fallback_rate(self) -> float:
+        with self._lock:
+            return self._fallback_rate
+
+    # ------------------------------------------------------------------
+    # planner interface
+
+    def tile_updates(self) -> Dict[int, int]:
+        with self._lock:
+            return dict(self._tile_updates)
+
+    def note_reorg_attempt(self, partition: int, cooldown: int) -> None:
+        """Record that the daemon tried to reorder *partition* —
+        counted for successful and fruitless attempts alike, so a
+        genuinely heterogeneous partition is not re-mined forever."""
+        with self._lock:
+            record = self._record_locked(partition)
+            record.attempts += 1
+            record.cooldown = max(record.cooldown, cooldown)
+
+    def tick(self) -> None:
+        """One planner cycle passed: cooldowns decay."""
+        with self._lock:
+            for record in self._partitions.values():
+                if record.cooldown > 0:
+                    record.cooldown -= 1
+
+    def snapshot(self) -> List[PartitionHealth]:
+        """Live health of every partition: extraction measured from the
+        tiles right now, sticky event counters merged in.  Returns
+        copies — mutating them does not affect the tracker."""
+        relation = self.relation
+        if relation.text_rows is not None:
+            return []
+        out: List[PartitionHealth] = []
+        for index in range(relation.partition_count):
+            tiles = relation.partition_tiles(index)
+            rows = sum(tile.row_count for tile in tiles)
+            if rows:
+                extraction = sum(
+                    relation.tile_extraction_fraction(tile) * tile.row_count
+                    for tile in tiles) / rows
+            else:
+                extraction = 1.0
+            with self._lock:
+                record = self._record_locked(index)
+                record.tiles = len(tiles)
+                record.rows = rows
+                record.extraction = extraction
+                out.append(dataclasses.replace(record))
+        return out

@@ -5,8 +5,8 @@ The embedded library (``repro.Database``) becomes a network service:
 
 * :class:`JsonTilesServer` — asyncio TCP server speaking a JSON-lines
   protocol (``query``, ``explain``, ``insert``, ``flush``,
-  ``create_table``, ``stats``, ``checkpoint``, ``ping``,
-  ``shutdown``);
+  ``create_table``, ``stats``, ``checkpoint``, ``maintenance``,
+  ``ping``, ``shutdown``);
 * :class:`QueryExecutor` — SELECTs on a thread pool under per-table
   readers/writer locks, so tile sealing never races a scan;
 * :mod:`repro.server.wal` — every insert is logged (and optionally

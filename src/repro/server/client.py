@@ -116,6 +116,13 @@ class ServerClient:
     def checkpoint(self) -> dict:
         return self._call("checkpoint")["written"]
 
+    def maintenance(self, action: str = "status") -> dict:
+        """Drive the server's maintenance daemon: ``status`` (default),
+        ``pause``, ``resume`` or ``force`` (run one cycle now).  The
+        response carries ``enabled``, the daemon's ``maintenance``
+        status dict and — for ``force`` — the ``executed`` actions."""
+        return self._call("maintenance", action=action)
+
     def shutdown(self, checkpoint: bool = True) -> None:
         self._call("shutdown", checkpoint=checkpoint)
 

@@ -85,6 +85,14 @@ class QueryExecutor:
                                         thread_name_prefix="repro-query")
         self._counter_lock = threading.Lock()
         self.queries_executed = 0
+        self._active = 0
+
+    @property
+    def active_queries(self) -> int:
+        """Queries currently executing (not merely queued) — the
+        maintenance daemon's backpressure signal."""
+        with self._counter_lock:
+            return self._active
 
     # ------------------------------------------------------------------
 
@@ -114,12 +122,17 @@ class QueryExecutor:
     def execute(self, sql: str,
                 options: Optional[QueryOptions] = None) -> QueryResult:
         """Blocking execution with locking; called from pool threads."""
-        tables = self.lock_set(sql)
-        self._prepare(tables)
-        with self.locks.read_locked(tables):
-            result = self.db.sql(sql, options)
         with self._counter_lock:
-            self.queries_executed += 1
+            self._active += 1
+        try:
+            tables = self.lock_set(sql)
+            self._prepare(tables)
+            with self.locks.read_locked(tables):
+                result = self.db.sql(sql, options)
+        finally:
+            with self._counter_lock:
+                self._active -= 1
+                self.queries_executed += 1
         return result
 
     def explain(self, sql: str,

@@ -25,7 +25,7 @@ MAX_MESSAGE_BYTES = 32 * 1024 * 1024
 #: commands the server understands (kept here so client and server
 #: cannot drift)
 COMMANDS = ("ping", "create_table", "insert", "flush", "query", "explain",
-            "stats", "checkpoint", "shutdown")
+            "stats", "checkpoint", "maintenance", "shutdown")
 
 
 class ProtocolError(Exception):

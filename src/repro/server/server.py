@@ -42,6 +42,11 @@ from typing import Dict, Optional, Union
 
 from repro.database import Database
 from repro.engine.morsels import pool_stats
+from repro.maintenance import (
+    MaintenanceConfig,
+    MaintenanceDaemon,
+    MaintenanceJournal,
+)
 from repro.engine.plan import QueryOptions
 from repro.errors import ReproError
 from repro.storage.formats import StorageFormat
@@ -88,7 +93,9 @@ class JsonTilesServer:
                  query_workers: int = 8,
                  parallelism: int = 1,
                  cache_mb: float = 64.0,
-                 checkpoint_interval: Optional[float] = None):
+                 checkpoint_interval: Optional[float] = None,
+                 maintenance: bool = False,
+                 maintenance_config: Optional[MaintenanceConfig] = None):
         self.data_dir = Path(data_dir)
         self.host = host
         self.port = port
@@ -105,6 +112,12 @@ class JsonTilesServer:
             parallelism=self.parallelism,
             tile_cache=cache_mb > 0)
         self.checkpoint_interval = checkpoint_interval
+        #: online maintenance (DESIGN.md §6d): tile health, §3.2
+        #: reordering and re-extraction as a background asyncio task
+        self.maintenance_enabled = maintenance
+        self.maintenance_config = maintenance_config
+        self.maintenance: Optional[MaintenanceDaemon] = None
+        self._maintenance_task: Optional[asyncio.Task] = None
 
         self.db: Optional[Database] = None
         self.wals: Optional[WalManager] = None
@@ -214,6 +227,18 @@ class JsonTilesServer:
         if self.checkpoint_interval:
             self._checkpoint_task = self._loop.create_task(
                 self._checkpoint_periodically())
+        if self.maintenance_enabled:
+            config = self.maintenance_config or MaintenanceConfig.from_env()
+            self.maintenance = MaintenanceDaemon(
+                lambda: dict(self._base), config,
+                journal=MaintenanceJournal(self.wals.journal("maintenance")),
+                append_guard_for=lambda name:
+                    (lambda: self.locks.write_locked(name)),
+                backpressure=lambda:
+                    self.executor.active_queries
+                    >= config.backpressure_active_queries)
+            self._maintenance_task = self._loop.create_task(
+                self._maintain_periodically())
 
     @property
     def address(self):
@@ -234,6 +259,9 @@ class JsonTilesServer:
         if self._checkpoint_task is not None:
             self._checkpoint_task.cancel()
             self._checkpoint_task = None
+        if self._maintenance_task is not None:
+            self._maintenance_task.cancel()
+            self._maintenance_task = None
         if self._server is not None:
             self._server.close()
             for task in list(self._conn_tasks):
@@ -356,6 +384,23 @@ class JsonTilesServer:
             await asyncio.sleep(self.checkpoint_interval)
             await self._loop.run_in_executor(self._io_pool,
                                              self._checkpoint_all)
+
+    # ------------------------------------------------------------------
+    # online maintenance (DESIGN.md §6d)
+
+    async def _maintain_periodically(self) -> None:
+        """Run maintenance cycles on the query pool.  ``run_cycle``
+        swallows per-action failures itself; the extra guard here only
+        keeps a planner-level surprise from killing the task."""
+        while True:
+            await asyncio.sleep(self.maintenance.config.interval_s)
+            try:
+                await asyncio.wrap_future(
+                    self.executor.submit_call(self.maintenance.run_cycle))
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self.maintenance._bump("errors")
 
     # ------------------------------------------------------------------
     # connection handling
@@ -540,10 +585,42 @@ class JsonTilesServer:
         pool = pool_stats()
         wall = max(uptime, 1e-9) * max(pool["workers"], 1)
         pool["utilization"] = round(min(1.0, pool["busy_seconds"] / wall), 4)
+        extra = {}
+        if self.maintenance is not None:
+            extra["maintenance"] = await asyncio.wrap_future(
+                self.executor.submit_call(self.maintenance.status))
         return protocol.ok_response(
             request_id, tables=tables, counters=counters,
             cache=GLOBAL_TILE_CACHE.stats(), pool=pool,
-            uptime_s=round(uptime, 3))
+            uptime_s=round(uptime, 3), **extra)
+
+    async def _cmd_maintenance(self, request: dict, request_id) -> dict:
+        """Operator surface of the maintenance daemon:
+        ``status`` (default) / ``pause`` / ``resume`` / ``force``
+        (run one cycle immediately, ignoring pause + backpressure)."""
+        action = request.get("action", "status")
+        if action not in ("status", "pause", "resume", "force"):
+            return protocol.error_response(
+                f"unknown maintenance action {action!r}; expected "
+                "status, pause, resume or force", request_id,
+                code="bad_request")
+        if self.maintenance is None:
+            return protocol.ok_response(request_id, enabled=False,
+                                        maintenance={"enabled": False})
+        executed = None
+        if action == "pause":
+            self.maintenance.pause()
+        elif action == "resume":
+            self.maintenance.resume()
+        elif action == "force":
+            executed = await asyncio.wrap_future(
+                self.executor.submit_call(self.maintenance.run_cycle, True))
+        status = await asyncio.wrap_future(
+            self.executor.submit_call(self.maintenance.status))
+        fields = {"enabled": True, "maintenance": status}
+        if executed is not None:
+            fields["executed"] = executed
+        return protocol.ok_response(request_id, **fields)
 
     async def _cmd_checkpoint(self, request: dict, request_id) -> dict:
         written = await self._loop.run_in_executor(self._io_pool,

@@ -188,6 +188,20 @@ class WalManager:
                 self._segments[table] = segment
             return segment
 
+    def journal(self, name: str) -> WriteAheadLog:
+        """A non-table WAL segment (``<name>.journal``) for subsystem
+        bookkeeping — e.g. the maintenance action journal.  Excluded
+        from :meth:`existing_tables` (which only globs ``*.wal``) so
+        recovery never mistakes it for an ingest log.  Never fsynced:
+        the journal records *that* an action ran, not row data."""
+        key = f"{name}.journal"
+        with self._lock:
+            segment = self._segments.get(key)
+            if segment is None:
+                segment = WriteAheadLog(self.directory / key, sync=False)
+                self._segments[key] = segment
+            return segment
+
     def existing_tables(self) -> List[str]:
         return sorted(path.stem for path in self.directory.glob("*.wal"))
 

@@ -15,9 +15,10 @@ extracted schema.
 from __future__ import annotations
 
 import json
+import math
 import threading
-from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional
+from contextlib import contextmanager, nullcontext
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.jsonpath import KeyPath, collect_key_paths
 from repro.errors import StorageError
@@ -66,6 +67,12 @@ class Relation:
         self.auto_seal = True
         #: callbacks ``(relation, tile)`` fired after a tile is sealed
         self._seal_hooks: List[Callable[["Relation", Tile], None]] = []
+        #: callbacks ``(event, relation, payload)`` fired on storage
+        #: reorganization events ("seal", "update", "recompute",
+        #: "reorganize"); the maintenance health tracker subscribes.
+        #: Hooks must never raise into the foreground path — exceptions
+        #: are swallowed.
+        self._event_hooks: List[Callable[[str, "Relation", object], None]] = []
         #: accumulated per-table scan counters (the engine's executor
         #: records every finished scan here; served by `stats`)
         self.scan_totals: Dict[str, int] = {}
@@ -137,38 +144,77 @@ class Relation:
         """
         if self.text_rows is not None:
             return
+        # seal only what was pending at entry: under sustained ingest a
+        # buffer that refills as fast as it drains must not trap the
+        # flusher (and with it a query's _prepare, or the whole server
+        # pool) in an endless chase of the writers.  The budget probe
+        # takes the seal lock so it first waits out an in-flight seal,
+        # whose documents are momentarily in neither buffer nor tiles.
         with self._seal_lock:
             with self._buffer_lock:
-                if not self._insert_buffer:
-                    return
-                documents = self._insert_buffer
-                self._insert_buffer = []
-                # only sealers mutate self.tiles, and they hold
-                # _seal_lock, so these reads are stable
-                tile_number = (self.tiles[-1].header.tile_number + 1
-                               if self.tiles else 0)
-                first_row = sum(tile.row_count for tile in self.tiles)
-            jsonb_rows = [jsonb_encode(document) for document in documents]
-            tile = build_tile(documents, jsonb_rows, self.config,
-                              tile_number, first_row,
-                              mine=self.format.extracts_columns)
-            guard = append_guard() if callable(append_guard) else append_guard
-            if guard is not None:
-                with guard:
+                budget = len(self._insert_buffer)
+        while budget > 0:
+            with self._seal_lock:
+                with self._buffer_lock:
+                    if not self._insert_buffer:
+                        return
+                    # one tile never exceeds tile_size tuples — a burst
+                    # of inserts that outran the sealer is cut into
+                    # properly-sized tiles instead of one oversized one
+                    # (tile boundaries are permanent: Section 3.2
+                    # reordering permutes rows *between* tiles but never
+                    # re-draws the boundaries themselves)
+                    take = min(len(self._insert_buffer),
+                               self.config.tile_size)
+                    budget -= take
+                    documents = self._insert_buffer[:take]
+                    self._insert_buffer = self._insert_buffer[take:]
+                    # only sealers mutate self.tiles, and they hold
+                    # _seal_lock, so these reads are stable
+                    tile_number = (self.tiles[-1].header.tile_number + 1
+                                   if self.tiles else 0)
+                    first_row = sum(tile.row_count for tile in self.tiles)
+                jsonb_rows = [jsonb_encode(document)
+                              for document in documents]
+                tile = build_tile(documents, jsonb_rows, self.config,
+                                  tile_number, first_row,
+                                  mine=self.format.extracts_columns)
+                guard = append_guard() if callable(append_guard) \
+                    else append_guard
+                if guard is not None:
+                    with guard:
+                        with self._buffer_lock:
+                            self.tiles.append(tile)
+                            self.statistics.absorb_tile(
+                                tile_number, tile.header.statistics)
+                else:
                     with self._buffer_lock:
                         self.tiles.append(tile)
                         self.statistics.absorb_tile(
                             tile_number, tile.header.statistics)
-            else:
-                with self._buffer_lock:
-                    self.tiles.append(tile)
-                    self.statistics.absorb_tile(tile_number,
-                                                tile.header.statistics)
-        for hook in self._seal_hooks:
-            hook(self, tile)
+            for hook in self._seal_hooks:
+                hook(self, tile)
+            self._fire_event("seal", tile)
 
     def add_seal_hook(self, hook: Callable[["Relation", Tile], None]) -> None:
         self._seal_hooks.append(hook)
+
+    def add_event_hook(self,
+                       hook: Callable[[str, "Relation", object], None]) -> None:
+        """Subscribe to storage reorganization events.  *hook* receives
+        ``(event, relation, payload)`` where event is one of ``"seal"``
+        (payload: the new tile), ``"update"`` (payload: the patched
+        tile), ``"recompute"`` (payload: the rebuilt tile) and
+        ``"reorganize"`` (payload: the partition index)."""
+        if hook not in self._event_hooks:
+            self._event_hooks.append(hook)
+
+    def _fire_event(self, event: str, payload: object) -> None:
+        for hook in self._event_hooks:
+            try:
+                hook(event, self, payload)
+            except Exception:
+                pass  # observers must never break the foreground path
 
     @contextmanager
     def seal_paused(self):
@@ -227,6 +273,7 @@ class Relation:
         # fallback columns cached for this tile are now stale
         GLOBAL_TILE_CACHE.invalidate_tile(tile.uid)
         if not self.format.extracts_columns:
+            self._fire_event("update", tile)
             return
 
         overlapping = 0
@@ -255,6 +302,7 @@ class Relation:
             if path not in tile.columns:
                 tile.header.record_unextracted(path)
 
+        self._fire_event("update", tile)
         if overlapping == 0:
             # outlier document: no overlap with the extracted keys
             count = self._outlier_counts.get(tile.header.tile_number, 0) + 1
@@ -262,18 +310,141 @@ class Relation:
             if count > tile.row_count // 2:
                 self.recompute_tile(tile)
 
-    def recompute_tile(self, tile: Tile) -> None:
-        """Re-run extraction for one tile after heavy updates."""
+    def recompute_tile(self, tile: Tile, append_guard=None) -> None:
+        """Re-run extraction for one tile after heavy updates.
+
+        *append_guard* (same contract as in :meth:`flush_inserts`) is
+        held around the instant the rebuilt tile replaces the stale one,
+        so a concurrent scan never observes a half-swapped tiles list.
+        Relation statistics are rebuilt from scratch — ``absorb_tile``
+        accumulates, so re-absorbing the rebuilt tile into the old
+        aggregate would double-count its rows.
+        """
         documents = [jsonb_decode(row) for row in tile.jsonb_rows]
         rebuilt = build_tile(documents, tile.jsonb_rows, self.config,
                              tile.header.tile_number, tile.first_row,
                              mine=self.format.extracts_columns)
-        index = self.tiles.index(tile)
-        self.tiles[index] = rebuilt
+        guard = append_guard() if callable(append_guard) else append_guard
+        with (guard if guard is not None else nullcontext()):
+            with self._buffer_lock:
+                try:
+                    index = self.tiles.index(tile)
+                except ValueError:
+                    return  # replaced concurrently; nothing left to do
+                self.tiles[index] = rebuilt
+                self._rebuild_statistics_locked()
         self._outlier_counts.pop(tile.header.tile_number, None)
         # the rebuilt tile has a fresh uid; entries of the replaced one
         # can never be served again, so reclaim their memory eagerly
         GLOBAL_TILE_CACHE.invalidate_tile(tile.uid)
+        # a recomputed tile changes its partition's content: the
+        # maintenance health tracker resets the partition's record so
+        # it becomes re-eligible for Section 3.2 reordering
+        self._fire_event("recompute", rebuilt)
+
+    def _rebuild_statistics_locked(self) -> None:
+        """Recompute :class:`TableStatistics` from the current tiles.
+        Callers hold ``_buffer_lock`` (the tiles list must be stable)."""
+        statistics = TableStatistics()
+        for tile in self.tiles:
+            statistics.absorb_tile(tile.header.tile_number,
+                                   tile.header.statistics)
+        self.statistics = statistics
+
+    # ------------------------------------------------------------------
+    # partitions (Section 3.2) — maintenance works partition-at-a-time
+
+    @property
+    def partition_count(self) -> int:
+        """Number of (possibly partial) partitions of sealed tiles."""
+        if not self.tiles:
+            return 0
+        return math.ceil(len(self.tiles) / self.config.partition_size)
+
+    def partition_tiles(self, index: int) -> List[Tile]:
+        """Snapshot of the sealed tiles in partition *index*."""
+        size = self.config.partition_size
+        with self._buffer_lock:
+            return list(self.tiles[index * size : (index + 1) * size])
+
+    def reorganize_partition(self, index: int, append_guard=None) -> bool:
+        """Re-run Section 3.2 tuple reordering across one sealed
+        partition, then rebuild its tiles with full mining/extraction.
+
+        Returns True when the partition's tiles were replaced, False
+        when nothing changed: identity order (reordering found no
+        improvement), fewer than two sealed tiles, a format without
+        per-tile local schemas, or a relation with array children
+        (their ``_parent_row`` links would dangle after a permutation).
+
+        Concurrency contract: optimistic.  The expensive
+        decode/mine/extract work runs without any relation lock, so
+        concurrent scans and seals proceed; the rebuilt tiles are
+        spliced in atomically under *append_guard* (the server passes
+        its per-table writer lock) after verifying — by identity — that
+        no concurrent recompute replaced a tile of the partition in the
+        meantime (sealers only ever append past it).  On a lost race
+        the method gives up and returns False; the caller retries in a
+        later cycle.  Concurrent in-place ``update`` calls on the
+        partition must be excluded by the caller — the server exposes
+        no update command, and the embedded daemon reorganizes between
+        foreground operations.
+        """
+        from repro.mining.dictionary import encode_documents, subset_dictionary
+        from repro.tiles.reorder import apply_order, reorder_transactions
+
+        if not self.format.uses_local_schemas or self.children:
+            return False
+        size = self.config.partition_size
+        lo = index * size
+        old_tiles = self.partition_tiles(index)
+        if len(old_tiles) < 2:
+            return False
+        occupancy = [tile.row_count for tile in old_tiles]
+        jsonb_rows = [row for tile in old_tiles
+                      for row in tile.jsonb_rows]
+        documents = [jsonb_decode(row) for row in jsonb_rows]
+        dictionary, transactions = encode_documents(
+            documents, self.config.max_array_elements)
+        order = reorder_transactions(transactions, self.config,
+                                     occupancy=occupancy)
+        if order == list(range(len(order))):
+            return False
+        documents = apply_order(documents, order)
+        jsonb_rows = apply_order(jsonb_rows, order)
+        transactions = apply_order(transactions, order)
+        rebuilt: List[Tile] = []
+        offset = 0
+        for old, count in zip(old_tiles, occupancy):
+            encoded = subset_dictionary(
+                dictionary, transactions[offset : offset + count])
+            rebuilt.append(build_tile(
+                documents[offset : offset + count],
+                jsonb_rows[offset : offset + count],
+                self.config, old.header.tile_number, old.first_row,
+                encoded=encoded))
+            offset += count
+        guard = append_guard() if callable(append_guard) else append_guard
+        with (guard if guard is not None else nullcontext()):
+            with self._buffer_lock:
+                current = self.tiles[lo : lo + len(old_tiles)]
+                if len(current) != len(old_tiles) or any(
+                        now is not then
+                        for now, then in zip(current, old_tiles)):
+                    return False  # lost the race: retry in a later cycle
+                self.tiles[lo : lo + len(old_tiles)] = rebuilt
+                # relation statistics are NOT rebuilt: a reorganization
+                # permutes rows within the partition, so the relation's
+                # multiset of (path, value) pairs — everything the
+                # aggregate describes — is unchanged.  (Per-tile zone
+                # maps were rebuilt fresh inside build_tile.)  A full
+                # rebuild here would grind O(tiles) histogram merges
+                # inside the write-locked splice on every cycle.
+        for old in old_tiles:
+            self._outlier_counts.pop(old.header.tile_number, None)
+            GLOBAL_TILE_CACHE.invalidate_tile(old.uid)
+        self._fire_event("reorganize", index)
+        return True
 
     # ------------------------------------------------------------------
     # size accounting (Table 6)
@@ -286,6 +457,11 @@ class Relation:
         accounting of Umbra (Section 4.7): extracted string columns
         store offsets, not payload copies.  ``tiles_standalone`` is the
         fully-materialized alternative for comparison.
+
+        A relation with zero sealed tiles (empty table, or buffer-only
+        state where every document still sits in the insert buffer)
+        reports well-defined zeros for every representation — pending
+        documents have no storage representation yet.
         """
         from repro.storage.compression import compress
 
@@ -293,6 +469,8 @@ class Relation:
                   "lz4_tiles": 0}
         if self.text_rows is not None:
             report["json"] = sum(len(row.encode("utf-8")) for row in self.text_rows)
+            return report
+        if not self.tiles and not self.children:
             return report
         for tile in self.tiles:
             report["jsonb"] += tile.jsonb_size_bytes()
@@ -309,12 +487,26 @@ class Relation:
 
     def extracted_fraction(self) -> float:
         """Fraction of (tile, frequent path) pairs that got materialized;
-        a robustness metric used by tests and examples."""
+        a robustness metric used by tests, examples and the maintenance
+        health tracker.
+
+        Well-defined 0.0 on a relation with zero sealed tiles (empty
+        table or buffer-only state): nothing has been extracted and
+        nothing has been given up on, so the metric must neither divide
+        by zero nor report a spurious 1.0.
+        """
         if not self.tiles:
             return 0.0
         extracted = sum(len(tile.columns) for tile in self.tiles)
         seen = sum(len(tile.header.key_counts) for tile in self.tiles)
         return extracted / max(1, seen)
+
+    def tile_extraction_fraction(self, tile: Tile) -> float:
+        """Per-tile extraction metric the health tracker aggregates:
+        extracted columns over frequent key paths seen in the tile."""
+        if not tile.header.key_counts:
+            return 1.0 if not tile.columns else 0.0
+        return len(tile.columns) / len(tile.header.key_counts)
 
     def describe(self) -> str:
         lines = [f"relation {self.name}: {self.row_count} rows, "

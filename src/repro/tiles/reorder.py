@@ -41,16 +41,40 @@ from repro.tiles.extractor import ExtractionConfig
 Itemset = FrozenSet[int]
 
 
+def _tile_boundaries(num_rows: int, tile_size: int,
+                     occupancy: Optional[Sequence[int]]) -> List[int]:
+    """Start offsets of each tile.  Without *occupancy* the classic
+    bulk-load layout is assumed (every tile full except the last); with
+    it, the actual per-tile row counts of already-sealed tiles are used
+    (online maintenance reorders tiles that partial flushes may have
+    sealed below ``tile_size``)."""
+    if occupancy is None:
+        return list(range(0, num_rows, tile_size))
+    starts = []
+    offset = 0
+    for count in occupancy:
+        starts.append(offset)
+        offset += count
+    if offset != num_rows:
+        raise ValueError(
+            f"occupancy covers {offset} rows, partition has {num_rows}")
+    return starts
+
+
 def mine_partition_itemsets(
-    transactions: Sequence[Sequence[int]], config: ExtractionConfig
+    transactions: Sequence[Sequence[int]], config: ExtractionConfig,
+    occupancy: Optional[Sequence[int]] = None,
 ) -> List[Itemset]:
     """Steps 1-2: per-tile mining with the reduced threshold, then the
     itemset exchange.  Returns surviving itemsets, largest first."""
     tile_size = config.tile_size
     reduced_fraction = config.threshold / max(1, config.partition_size)
     aggregate: Dict[Itemset, int] = defaultdict(int)
-    for start in range(0, len(transactions), tile_size):
-        chunk = transactions[start : start + tile_size]
+    starts = _tile_boundaries(len(transactions), tile_size, occupancy)
+    sizes = (occupancy if occupancy is not None
+             else [tile_size] * len(starts))
+    for start, size in zip(starts, sizes):
+        chunk = transactions[start : start + size]
         min_count = max(1, math.ceil(reduced_fraction * len(chunk)))
         miner = FPGrowth(min_count, config.mining_budget)
         for itemset, support in miner.mine(chunk).items():
@@ -225,25 +249,46 @@ def reorder_partition(
 
 
 def reorder_transactions(
-    transactions: Sequence[Sequence[int]], config: ExtractionConfig
+    transactions: Sequence[Sequence[int]], config: ExtractionConfig,
+    occupancy: Optional[Sequence[int]] = None,
 ) -> List[int]:
     """Reordering over pre-encoded transactions (the loader encodes a
-    partition once and reuses the transactions for tile construction)."""
+    partition once and reuses the transactions for tile construction).
+
+    *occupancy* gives the actual row count of each tile in the
+    partition; without it every tile is assumed full except the last
+    (the bulk-load layout).  The maintenance daemon passes the sealed
+    tiles' real sizes so partitions containing partially-flushed tiles
+    reorder correctly.
+    """
     num_rows = len(transactions)
     tile_size = config.tile_size
-    num_tiles = math.ceil(num_rows / tile_size)
+    if occupancy is None:
+        num_tiles = math.ceil(num_rows / tile_size)
+    else:
+        num_tiles = len(occupancy)
+        if sum(occupancy) != num_rows:
+            raise ValueError(
+                f"occupancy covers {sum(occupancy)} rows, "
+                f"partition has {num_rows}")
     if num_tiles <= 1:
         return list(range(num_rows))
-    itemsets = mine_partition_itemsets(transactions, config)
+    itemsets = mine_partition_itemsets(transactions, config, occupancy)
     if not itemsets:
         return list(range(num_rows))
     matches = match_tuples(transactions, itemsets)
-    tile_of_row = [min(row // tile_size, num_tiles - 1)
-                   for row in range(num_rows)]
-    occupancy = [0] * num_tiles
-    for tile in tile_of_row:
-        occupancy[tile] += 1
-    desired = assign_rows_to_tiles(matches, tile_of_row, occupancy,
+    if occupancy is None:
+        tile_of_row = [min(row // tile_size, num_tiles - 1)
+                       for row in range(num_rows)]
+        tile_occupancy = [0] * num_tiles
+        for tile in tile_of_row:
+            tile_occupancy[tile] += 1
+    else:
+        tile_of_row = []
+        for tile, count in enumerate(occupancy):
+            tile_of_row.extend([tile] * count)
+        tile_occupancy = list(occupancy)
+    desired = assign_rows_to_tiles(matches, tile_of_row, tile_occupancy,
                                    config.threshold, tile_size)
 
     swaps = plan_swaps(tile_of_row, desired)

@@ -1,0 +1,448 @@
+"""Tests for ``repro.maintenance`` — health tracking, the action
+planner, the daemon, and the action journal."""
+
+import pytest
+
+from repro import Database, ExtractionConfig, MaintenanceConfig, StorageFormat
+from repro.maintenance import (
+    ActionKind,
+    HealthTracker,
+    MaintenanceAction,
+    MaintenanceDaemon,
+    MaintenanceJournal,
+    MaintenancePlanner,
+)
+from repro.maintenance.policy import tile_by_number
+from repro.server.wal import WriteAheadLog
+from repro.storage import load_documents
+from repro.storage.relation import Relation
+
+# the Figure 3 news-item types: four disjoint-ish structures, so
+# round-robin ingest produces maximally heterogeneous tiles
+DOC_TYPES = {
+    "story": lambda i: {"id": i, "type": "story", "score": i % 7,
+                        "desc": 2, "title": "t", "url": "u"},
+    "poll": lambda i: {"id": i, "type": "poll", "score": i % 5,
+                       "desc": 2, "title": "t"},
+    "pollop": lambda i: {"id": i, "type": "pollop", "score": i % 3,
+                         "poll": 2, "title": "t"},
+    "comment": lambda i: {"id": i, "type": "comment", "parent": i - 1,
+                          "text": "c"},
+}
+KINDS = ("story", "comment", "pollop", "poll")
+
+
+def shuffled_documents(n):
+    """Round-robin of the four types: zero spatial locality."""
+    return [DOC_TYPES[KINDS[i % len(KINDS)]](i) for i in range(n)]
+
+
+CONFIG = ExtractionConfig(tile_size=32, partition_size=4, threshold=0.6,
+                          enable_reordering=False)
+
+
+def shuffled_relation(n=256, config=CONFIG):
+    return load_documents("t", shuffled_documents(n), StorageFormat.TILES,
+                          config)
+
+
+class TestMaintenanceConfig:
+    def test_defaults(self):
+        config = MaintenanceConfig.from_env(env={})
+        assert config.enabled is True
+        assert config.interval_s == 1.0
+        assert config.min_extraction is None
+        assert config.max_actions_per_cycle == 4
+
+    def test_env_parsing(self):
+        config = MaintenanceConfig.from_env(env={
+            "REPRO_MAINT_ENABLED": "off",
+            "REPRO_MAINT_INTERVAL": "0.25",
+            "REPRO_MAINT_MIN_EXTRACTION": "0.5",
+            "REPRO_MAINT_MAX_ACTIONS": "9",
+            "REPRO_MAINT_COOLDOWN": "3",
+            "REPRO_MAINT_MAX_ATTEMPTS": "5",
+            "REPRO_MAINT_RECOMPUTE_FRACTION": "0.4",
+            "REPRO_MAINT_COMPACT_IDLE": "7",
+            "REPRO_MAINT_BACKPRESSURE": "11",
+        })
+        assert config.enabled is False
+        assert config.interval_s == 0.25
+        assert config.min_extraction == 0.5
+        assert config.max_actions_per_cycle == 9
+        assert config.reorg_cooldown_cycles == 3
+        assert config.max_reorg_attempts == 5
+        assert config.recompute_update_fraction == 0.4
+        assert config.compact_idle_cycles == 7
+        assert config.backpressure_active_queries == 11
+
+    def test_invalid_values_fall_back_to_defaults(self):
+        config = MaintenanceConfig.from_env(env={
+            "REPRO_MAINT_INTERVAL": "soon",
+            "REPRO_MAINT_MAX_ACTIONS": "",
+        })
+        assert config.interval_s == 1.0
+        assert config.max_actions_per_cycle == 4
+
+    def test_overrides_win_over_env(self):
+        config = MaintenanceConfig.from_env(
+            env={"REPRO_MAINT_INTERVAL": "5.0"},
+            interval_s=0.1, max_actions_per_cycle=None)
+        assert config.interval_s == 0.1
+        assert config.max_actions_per_cycle == 4  # None override ignored
+
+
+class TestHealthTracker:
+    def test_seal_events_accumulate_rows(self):
+        relation = Relation("t", StorageFormat.TILES, CONFIG)
+        tracker = HealthTracker(relation)
+        for doc in shuffled_documents(64):
+            relation.insert(doc)
+        relation.flush_inserts()
+        healths = {h.partition: h for h in tracker.snapshot()}
+        assert healths[0].rows_since_reorg == 64
+        assert healths[0].tiles == 2
+        assert healths[0].rows == 64
+
+    def test_snapshot_measures_live_extraction(self):
+        relation = shuffled_relation(128)
+        tracker = HealthTracker(relation)
+        before = tracker.snapshot()[0].extraction
+        assert before < 0.6  # heterogeneous tiles extract poorly
+        assert relation.reorganize_partition(0)
+        after = tracker.snapshot()[0].extraction
+        assert after > before  # no caching: reorg reflected immediately
+
+    def test_update_events_feed_tile_counters(self):
+        relation = shuffled_relation(64)
+        tracker = HealthTracker(relation)
+        for row in (0, 1, 2):
+            relation.update(row, DOC_TYPES["story"](900 + row))
+        updates = tracker.tile_updates()
+        assert updates.get(0) == 3
+        assert tracker.snapshot()[0].updates == 3
+
+    def test_recompute_resets_partition_eligibility(self):
+        """Satellite fix: after a tile recomputation the partition's
+        attempt counter and cooldown reset, so the planner may reorder
+        it again instead of leaving it pinned as 'attempted'."""
+        relation = shuffled_relation(64)
+        tracker = HealthTracker(relation)
+        tracker.note_reorg_attempt(0, cooldown=8)
+        snap = tracker.snapshot()[0]
+        assert snap.attempts == 1 and snap.cooldown == 8
+        relation.recompute_tile(relation.tiles[0])
+        snap = tracker.snapshot()[0]
+        assert snap.attempts == 0 and snap.cooldown == 0
+        assert 0 not in tracker.tile_updates()
+
+    def test_reorganize_clears_update_history(self):
+        relation = shuffled_relation(128)
+        tracker = HealthTracker(relation)
+        relation.update(0, DOC_TYPES["story"](901))
+        assert tracker.tile_updates()
+        assert relation.reorganize_partition(0)
+        assert tracker.tile_updates() == {}
+        assert tracker.snapshot()[0].rows_since_reorg == 0
+
+    def test_tick_decays_cooldown(self):
+        relation = shuffled_relation(64)
+        tracker = HealthTracker(relation)
+        tracker.note_reorg_attempt(0, cooldown=2)
+        tracker.tick()
+        assert tracker.snapshot()[0].cooldown == 1
+        tracker.tick()
+        tracker.tick()
+        assert tracker.snapshot()[0].cooldown == 0
+
+
+class TestPlanner:
+    def _tracked(self, relation):
+        return {"t": (relation, HealthTracker(relation))}
+
+    def test_plans_reorder_for_degraded_partition(self):
+        relation = shuffled_relation(256)
+        config = MaintenanceConfig()
+        planner = MaintenancePlanner(config)
+        actions = planner.plan(self._tracked(relation))
+        assert actions
+        assert all(a.kind is ActionKind.REORDER_PARTITION for a in actions)
+        assert all(a.score > 0 for a in actions)
+
+    def test_healthy_partition_not_reordered(self):
+        homogeneous = [DOC_TYPES["story"](i) for i in range(128)]
+        relation = load_documents("t", homogeneous, StorageFormat.TILES,
+                                  CONFIG)
+        planner = MaintenancePlanner(MaintenanceConfig())
+        assert planner.plan(self._tracked(relation)) == []
+
+    def test_cooldown_and_attempts_gate_reorders(self):
+        relation = shuffled_relation(256)
+        tracker = HealthTracker(relation)
+        config = MaintenanceConfig(max_reorg_attempts=2)
+        planner = MaintenancePlanner(config)
+        tables = {"t": (relation, tracker)}
+        assert planner.plan(tables)  # degraded: would reorder
+        tracker.note_reorg_attempt(0, cooldown=4)
+        tracker.note_reorg_attempt(1, cooldown=4)
+        assert planner.plan(tables) == []  # cooling down
+        for _ in range(4):
+            tracker.tick()
+        assert planner.plan(tables)  # cooled: one attempt left
+        tracker.note_reorg_attempt(0, cooldown=0)
+        tracker.note_reorg_attempt(1, cooldown=0)
+        assert planner.plan(tables) == []  # attempts exhausted
+
+    def test_min_partition_tiles_gates_reorders(self):
+        relation = shuffled_relation(32)  # a single tile
+        planner = MaintenancePlanner(MaintenanceConfig())
+        assert planner.plan(self._tracked(relation)) == []
+
+    def test_text_format_tables_are_skipped(self):
+        import json
+
+        lines = [json.dumps(DOC_TYPES["story"](i)) for i in range(64)]
+        relation = load_documents("t", lines, StorageFormat.JSON, CONFIG)
+        planner = MaintenancePlanner(MaintenanceConfig())
+        assert planner.plan(self._tracked(relation)) == []
+
+    def test_compact_planned_after_idle_cycles(self):
+        relation = Relation("t", StorageFormat.TILES, CONFIG)
+        relation.auto_seal = False
+        for doc in shuffled_documents(5):
+            relation.insert(doc)
+        planner = MaintenancePlanner(MaintenanceConfig(compact_idle_cycles=2))
+        tables = self._tracked(relation)
+        assert planner.plan(tables) == []          # just observed
+        assert planner.plan(tables) == []          # idle 1
+        actions = planner.plan(tables)             # idle 2: compact
+        assert [a.kind for a in actions] == [ActionKind.COMPACT_BUFFER]
+        # a growing buffer is not a straggler
+        relation.insert(DOC_TYPES["story"](999))
+        assert planner.plan(tables) == []
+
+    def test_recompute_planned_for_update_heavy_tile(self):
+        homogeneous = [DOC_TYPES["story"](i) for i in range(128)]
+        relation = load_documents("t", homogeneous, StorageFormat.TILES,
+                                  CONFIG)
+        tracker = HealthTracker(relation)
+        for row in range(10):  # 10/32 > 0.25 of tile 0
+            relation.update(row, dict(DOC_TYPES["story"](row), extra=row))
+        planner = MaintenancePlanner(MaintenanceConfig())
+        actions = planner.plan({"t": (relation, tracker)})
+        assert any(a.kind is ActionKind.RECOMPUTE_TILE and a.target == 0
+                   for a in actions)
+
+    def test_reordering_partition_suppresses_tile_recompute(self):
+        relation = shuffled_relation(256)
+        tracker = HealthTracker(relation)
+        for row in range(20):
+            relation.update(row, dict(DOC_TYPES["story"](row), extra=row))
+        planner = MaintenancePlanner(MaintenanceConfig(
+            max_actions_per_cycle=16))
+        actions = planner.plan({"t": (relation, tracker)})
+        reordering = {a.target for a in actions
+                      if a.kind is ActionKind.REORDER_PARTITION}
+        assert 0 in reordering
+        recomputed = [a for a in actions
+                      if a.kind is ActionKind.RECOMPUTE_TILE]
+        partition_size = relation.config.partition_size
+        assert all(a.target // partition_size not in reordering
+                   for a in recomputed)
+
+    def test_rate_limit_caps_actions(self):
+        relation = shuffled_relation(512)
+        planner = MaintenancePlanner(MaintenanceConfig(
+            max_actions_per_cycle=2))
+        actions = planner.plan(self._tracked(relation))
+        assert len(actions) == 2
+        assert actions[0].score >= actions[1].score
+
+
+class TestDaemon:
+    def test_cycles_restore_extraction_to_eager_baseline(self):
+        """The acceptance scenario, embedded: shuffled ingest with
+        reordering disabled degrades extraction; background cycles
+        restore it to at least the eager (reorder-at-load) baseline,
+        and query results stay bit-identical throughout."""
+        documents = shuffled_documents(512)
+        eager = Database(config=ExtractionConfig(
+            tile_size=32, partition_size=4, threshold=0.6))
+        eager.load_table("t", documents)
+        baseline = eager.table("t").extracted_fraction()
+
+        db = Database(config=CONFIG)
+        db.load_table("t", documents)
+        degraded = db.table("t").extracted_fraction()
+        assert degraded < baseline
+
+        query = ("select x.data->>'type' as k, count(*) as n, "
+                 "sum(x.data->>'score'::int) as s "
+                 "from t x group by x.data->>'type' order by k")
+        expected = eager.sql(query).rows
+        assert db.sql(query).rows == expected
+
+        daemon = MaintenanceDaemon(
+            lambda: dict(db.tables),
+            MaintenanceConfig(max_actions_per_cycle=8,
+                              reorg_cooldown_cycles=0,
+                              max_reorg_attempts=4))
+        for _ in range(12):
+            daemon.run_cycle()
+            assert db.sql(query).rows == expected  # never a wrong answer
+        restored = db.table("t").extracted_fraction()
+        assert restored >= baseline
+        assert daemon.counters["reorders"] > 0
+        assert db.sql(query).rows == expected
+
+    def test_daemon_executes_recompute_and_compact(self):
+        db = Database(config=CONFIG)
+        relation = db.load_table("t", [DOC_TYPES["story"](i)
+                                       for i in range(128)])
+        daemon = MaintenanceDaemon(lambda: dict(db.tables),
+                                   MaintenanceConfig(compact_idle_cycles=1,
+                                                     max_actions_per_cycle=8))
+        daemon.run_cycle()  # first cycle subscribes the health tracker
+        for row in range(12):
+            relation.update(row, dict(DOC_TYPES["story"](row), extra=row))
+        relation.auto_seal = False
+        relation.insert(DOC_TYPES["story"](500))
+        for _ in range(4):
+            daemon.run_cycle()
+        assert daemon.counters["recomputes"] >= 1
+        assert daemon.counters["compactions"] >= 1
+        assert relation.pending_inserts == 0
+        # the rebuilt tile absorbed the update history: nothing left to
+        # recompute, and the majority keys still extract
+        assert daemon._tracker("t", relation).tile_updates() == {}
+        tile = tile_by_number(relation, 0)
+        assert any(str(path) == "id" for path in tile.columns)
+
+    def test_backpressure_skips_cycle(self):
+        db = Database(config=CONFIG)
+        db.load_table("t", shuffled_documents(256))
+        busy = [True]
+        daemon = MaintenanceDaemon(lambda: dict(db.tables),
+                                   MaintenanceConfig(),
+                                   backpressure=lambda: busy[0])
+        assert daemon.run_cycle() == []
+        assert daemon.counters["skipped_backpressure"] == 1
+        assert daemon.counters["cycles"] == 0
+        busy[0] = False
+        assert daemon.run_cycle()
+        assert daemon.counters["cycles"] == 1
+
+    def test_pause_resume_and_force(self):
+        db = Database(config=CONFIG)
+        db.load_table("t", shuffled_documents(256))
+        daemon = MaintenanceDaemon(lambda: dict(db.tables),
+                                   MaintenanceConfig())
+        daemon.pause()
+        assert daemon.run_cycle() == []
+        assert daemon.paused
+        assert daemon.run_cycle(force=True)  # force bypasses pause
+        daemon.resume()
+        assert not daemon.paused
+
+    def test_disabled_daemon_noops_unless_forced(self):
+        db = Database(config=CONFIG)
+        db.load_table("t", shuffled_documents(256))
+        daemon = MaintenanceDaemon(lambda: dict(db.tables),
+                                   MaintenanceConfig(enabled=False))
+        assert daemon.run_cycle() == []
+        assert daemon.run_cycle(force=True)
+
+    def test_status_reports_tables_and_counters(self):
+        db = Database(config=CONFIG)
+        db.load_table("t", shuffled_documents(128))
+        daemon = MaintenanceDaemon(lambda: dict(db.tables),
+                                   MaintenanceConfig())
+        daemon.run_cycle()
+        status = daemon.status()
+        assert status["enabled"] and not status["paused"]
+        assert status["counters"]["cycles"] == 1
+        table = status["tables"]["t"]
+        assert 0.0 <= table["extracted_fraction"] <= 1.0
+        assert table["partitions"]
+        assert status["last_actions"]
+
+    def test_database_start_stop_maintenance(self):
+        db = Database(config=CONFIG)
+        db.load_table("t", shuffled_documents(128))
+        daemon = db.start_maintenance(MaintenanceConfig(interval_s=0.01))
+        assert db.maintenance is daemon
+        assert db.start_maintenance() is daemon  # idempotent
+        deadline = 200
+        while daemon.counters["cycles"] == 0 and deadline:
+            deadline -= 1
+            import time
+            time.sleep(0.01)
+        assert daemon.counters["cycles"] > 0
+        db.stop_maintenance()
+        assert db.maintenance is None
+
+
+class TestJournal:
+    def _journal(self, tmp_path):
+        return MaintenanceJournal(
+            WriteAheadLog(tmp_path / "maintenance.journal", sync=False))
+
+    def test_commit_clears_pending(self, tmp_path):
+        journal = self._journal(tmp_path)
+        action = MaintenanceAction(ActionKind.REORDER_PARTITION, "t", 0, 1.0)
+        journal.log("begin", action)
+        assert len(journal.pending()) == 1
+        journal.log("commit", action)
+        assert journal.pending() == []
+
+    def test_begin_without_commit_survives_restart(self, tmp_path):
+        journal = self._journal(tmp_path)
+        action = MaintenanceAction(ActionKind.REORDER_PARTITION, "t", 1, 2.0)
+        journal.log("begin", action)
+        journal.close()
+        reopened = self._journal(tmp_path)
+        pending = reopened.pending()
+        assert len(pending) == 1
+        recovered = MaintenanceAction.from_dict(pending[0])
+        assert recovered.kind is ActionKind.REORDER_PARTITION
+        assert recovered.table == "t" and recovered.target == 1
+
+    def test_daemon_requeues_recovered_actions(self, tmp_path):
+        journal = self._journal(tmp_path)
+        action = MaintenanceAction(ActionKind.REORDER_PARTITION, "t", 0, 1.0)
+        journal.log("begin", action)
+        journal.close()
+
+        db = Database(config=CONFIG)
+        db.load_table("t", shuffled_documents(256))
+        daemon = MaintenanceDaemon(
+            lambda: dict(db.tables),
+            MaintenanceConfig(enabled=True, max_actions_per_cycle=0),
+            journal=self._journal(tmp_path))
+        assert daemon.counters["recovered"] == 1
+        # max_actions_per_cycle=0 means the plan contributes nothing:
+        # the executed action can only be the recovered one
+        executed = daemon.run_cycle()
+        assert [r["kind"] for r in executed] == ["reorder_partition"]
+        assert daemon.journal.pending() == []  # committed this time
+
+    def test_recovered_action_for_dropped_table_is_skipped(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.log("begin", MaintenanceAction(
+            ActionKind.COMPACT_BUFFER, "ghost", -1, 1.0))
+        journal.close()
+        daemon = MaintenanceDaemon({}, MaintenanceConfig(),
+                                   journal=self._journal(tmp_path))
+        assert daemon.counters["recovered"] == 1
+        assert daemon.run_cycle() == []  # unknown table: dropped
+
+    def test_compact_truncates_fully_committed_journal(self, tmp_path):
+        journal = self._journal(tmp_path)
+        action = MaintenanceAction(ActionKind.COMPACT_BUFFER, "t", -1, 1.0)
+        for _ in range(300):  # 600 records > JOURNAL_COMPACT_RECORDS
+            journal.log("begin", action)
+            journal.log("commit", action)
+        assert journal.wal.record_count == 600
+        journal.compact()
+        assert journal.wal.record_count == 0
+        assert journal.pending() == []

@@ -1,0 +1,292 @@
+"""Server-side tests for online maintenance: the ``maintenance``
+command, convergence under shuffled ingest, a bounded soak with
+concurrent queries, and journal-backed crash recovery.
+
+The soak duration is ``REPRO_SOAK_SECONDS`` (default: a few seconds,
+so the tier-1 run stays fast; CI's soak job raises it).
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro import ExtractionConfig, MaintenanceConfig, StorageFormat
+from repro.maintenance import ActionKind, MaintenanceAction, MaintenanceJournal
+from repro.server import JsonTilesServer, ServerClient
+from repro.server.wal import WriteAheadLog
+from repro.storage import load_documents
+
+TINY = {"tile_size": 32, "partition_size": 4}
+
+DOC_TYPES = {
+    "story": lambda i: {"id": i, "type": "story", "score": i % 7,
+                        "desc": 2, "title": "t", "url": "u"},
+    "poll": lambda i: {"id": i, "type": "poll", "score": i % 5,
+                       "desc": 2, "title": "t"},
+    "pollop": lambda i: {"id": i, "type": "pollop", "score": i % 3,
+                         "poll": 2, "title": "t"},
+    "comment": lambda i: {"id": i, "type": "comment", "parent": i - 1,
+                          "text": "c"},
+}
+KINDS = ("story", "comment", "pollop", "poll")
+
+GROUP_QUERY = ("select x.data->>'type' as k, count(*) as n, "
+               "sum(x.data->>'id'::int) as s "
+               "from t x group by x.data->>'type' order by k")
+
+
+def shuffled_documents(n):
+    return [DOC_TYPES[KINDS[i % len(KINDS)]](i) for i in range(n)]
+
+
+def expected_groups(documents):
+    groups = {}
+    for doc in documents:
+        count, total = groups.get(doc["type"], (0, 0))
+        groups[doc["type"]] = (count + 1, total + doc["id"])
+    return [(kind, count, total)
+            for kind, (count, total) in sorted(groups.items())]
+
+
+FAST = MaintenanceConfig(interval_s=0.05, max_actions_per_cycle=8,
+                         reorg_cooldown_cycles=0, max_reorg_attempts=4)
+
+
+def maintained_server(data_dir, config=FAST):
+    return JsonTilesServer(data_dir, wal_sync=False, query_workers=4,
+                           maintenance=True, maintenance_config=config)
+
+
+# ---------------------------------------------------------------------------
+
+
+class TestMaintenanceCommand:
+    def test_disabled_server_reports_disabled(self, tmp_path):
+        server = JsonTilesServer(tmp_path / "data", wal_sync=False,
+                                 query_workers=2)
+        server.start_in_thread()
+        try:
+            with ServerClient(port=server.port) as client:
+                response = client.maintenance()
+                assert response["enabled"] is False
+                assert response["maintenance"]["enabled"] is False
+                stats = client.stats()
+                assert "maintenance" not in stats
+        finally:
+            server.stop_in_thread()
+
+    def test_unknown_action_rejected(self, tmp_path):
+        server = maintained_server(tmp_path / "data")
+        server.start_in_thread()
+        try:
+            with ServerClient(port=server.port) as client:
+                from repro.server import ServerError
+                with pytest.raises(ServerError):
+                    client.maintenance("explode")
+        finally:
+            server.stop_in_thread()
+
+    def test_status_pause_resume_force(self, tmp_path):
+        server = maintained_server(tmp_path / "data")
+        server.start_in_thread()
+        try:
+            with ServerClient(port=server.port) as client:
+                client.create_table("t", "tiles", TINY)
+                client.insert_many("t", shuffled_documents(128))
+
+                status = client.maintenance()["maintenance"]
+                assert status["enabled"] is True
+                assert "t" in status["tables"]
+
+                paused = client.maintenance("pause")["maintenance"]
+                assert paused["paused"] is True
+                cycles = paused["counters"]["cycles"]
+                time.sleep(0.3)  # several intervals pass while paused
+                still = client.maintenance()["maintenance"]
+                assert still["counters"]["cycles"] == cycles
+
+                forced = client.maintenance("force")
+                assert "executed" in forced  # force bypasses pause
+                assert forced["maintenance"]["counters"]["cycles"] > cycles
+
+                resumed = client.maintenance("resume")["maintenance"]
+                assert resumed["paused"] is False
+
+                stats = client.stats()
+                assert stats["maintenance"]["enabled"] is True
+        finally:
+            server.stop_in_thread()
+
+    def test_journal_segment_created(self, tmp_path):
+        data_dir = tmp_path / "data"
+        server = maintained_server(data_dir)
+        server.start_in_thread()
+        try:
+            with ServerClient(port=server.port) as client:
+                client.create_table("t", "tiles", TINY)
+                client.insert_many("t", shuffled_documents(128))
+                client.maintenance("force")
+            assert (data_dir / "wal" / "maintenance.journal").exists()
+        finally:
+            server.stop_in_thread()
+
+
+# ---------------------------------------------------------------------------
+
+
+class TestConvergence:
+    def test_shuffled_ingest_recovers_eager_extraction(self, tmp_path):
+        """The acceptance scenario over the wire: shuffled ingest
+        through the server (no reordering at seal time) degrades
+        extraction; the background daemon restores it to at least the
+        eager bulk-load baseline while answers stay exact."""
+        documents = shuffled_documents(512)
+        eager = load_documents("t", documents, StorageFormat.TILES,
+                               ExtractionConfig(tile_size=32,
+                                                partition_size=4))
+        baseline = eager.extracted_fraction()
+        expected = expected_groups(documents)
+
+        server = maintained_server(tmp_path / "data")
+        server.start_in_thread()
+        try:
+            with ServerClient(port=server.port) as client:
+                client.create_table("t", "tiles", TINY)
+                for base in range(0, len(documents), 64):
+                    client.insert_many("t", documents[base : base + 64])
+                assert client.query(GROUP_QUERY).rows == expected
+
+                fraction = 0.0
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    status = client.maintenance()["maintenance"]
+                    fraction = status["tables"]["t"]["extracted_fraction"]
+                    # answers stay exact while tiles are being rebuilt
+                    assert client.query(GROUP_QUERY).rows == expected
+                    if fraction >= baseline and \
+                            status["counters"]["reorders"] > 0:
+                        break
+                    time.sleep(0.05)
+                status = client.maintenance()["maintenance"]
+                assert fraction >= baseline
+                assert status["counters"]["reorders"] > 0
+                assert client.query(GROUP_QUERY).rows == expected
+        finally:
+            server.stop_in_thread()
+
+
+# ---------------------------------------------------------------------------
+
+
+class TestSoak:
+    def test_bounded_soak_ingest_queries_maintenance(self, tmp_path):
+        """Concurrent ingest + queries + maintenance for a bounded
+        wall-clock window: no deadlock, per-client counts monotone,
+        and the final answers are exact."""
+        duration = float(os.environ.get("REPRO_SOAK_SECONDS", "3"))
+        server = maintained_server(tmp_path / "data")
+        server.start_in_thread()
+        errors = []
+        stop = threading.Event()
+        inserted = [0]
+        try:
+            with ServerClient(port=server.port) as admin:
+                admin.create_table("t", "tiles", TINY)
+
+            def writer():
+                try:
+                    with ServerClient(port=server.port) as connection:
+                        base = 0
+                        while not stop.is_set():
+                            batch = [DOC_TYPES[KINDS[(base + i) % 4]](base + i)
+                                     for i in range(16)]
+                            connection.insert_many("t", batch)
+                            base += 16
+                            inserted[0] = base
+                except Exception as exc:
+                    errors.append(exc)
+
+            def reader():
+                try:
+                    with ServerClient(port=server.port) as connection:
+                        counts = []
+                        while not stop.is_set():
+                            counts.append(connection.query(
+                                "select count(*) as n from t x").scalar())
+                        assert counts == sorted(counts)
+                except Exception as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=writer)] + \
+                [threading.Thread(target=reader) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            time.sleep(duration)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not any(thread.is_alive() for thread in threads)
+            assert not errors
+
+            total = inserted[0]
+            documents = [DOC_TYPES[KINDS[i % 4]](i) for i in range(total)]
+            with ServerClient(port=server.port) as client:
+                assert client.query(
+                    "select count(*) as n from t x").scalar() == total
+                assert client.query(GROUP_QUERY).rows == \
+                    expected_groups(documents)
+                status = client.maintenance()["maintenance"]
+                assert status["counters"]["cycles"] > 0
+        finally:
+            server.stop_in_thread()
+
+
+# ---------------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_crash_with_inflight_reorg_recovers_exact_rows(self, tmp_path):
+        """kill -9 mid-reorganization: the journal holds a ``begin``
+        with no ``commit``.  On restart every acknowledged row is
+        replayed exactly once (a reorganization permutes rows among
+        in-memory tiles, never durable state) and the action is
+        re-queued."""
+        data_dir = tmp_path / "data"
+        documents = shuffled_documents(256)
+        expected = expected_groups(documents)
+
+        first = maintained_server(
+            data_dir, MaintenanceConfig(interval_s=3600))  # no cycles yet
+        first.start_in_thread()
+        with ServerClient(port=first.port) as client:
+            client.create_table("t", "tiles", TINY)
+            client.insert_many("t", documents)
+        first.stop_in_thread(checkpoint=False)  # simulated crash
+
+        # forge the in-flight action the dying process would have left
+        journal = MaintenanceJournal(WriteAheadLog(
+            data_dir / "wal" / "maintenance.journal", sync=False))
+        journal.log("begin", MaintenanceAction(
+            ActionKind.REORDER_PARTITION, "t", 0, 9.9))
+        journal.close()
+
+        second = maintained_server(data_dir)
+        second.start_in_thread()
+        try:
+            with ServerClient(port=second.port) as client:
+                response = client.maintenance("force")
+                counters = response["maintenance"]["counters"]
+                assert counters["recovered"] == 1
+                # no lost and no duplicated rows
+                assert client.query(
+                    "select count(*) as n from t x").scalar() == 256
+                assert client.query(GROUP_QUERY).rows == expected
+                assert client.query(
+                    "select sum(x.data->>'id'::int) as s from t x"
+                ).scalar() == sum(range(256))
+            # the re-queued action committed this round
+            assert second.maintenance.journal.pending() == []
+        finally:
+            second.stop_in_thread()

@@ -218,6 +218,44 @@ class TestSizeReport:
         assert relation.size_report()["json"] > 0
 
 
+class TestEmptyRelationReports:
+    """Regression: size_report()/extracted_fraction() on relations with
+    zero sealed tiles must return well-defined zeros, not divide."""
+
+    @pytest.mark.parametrize("storage_format", [
+        StorageFormat.TILES, StorageFormat.JSONB, StorageFormat.SINEW,
+    ])
+    def test_empty_relation_reports_zeros(self, storage_format):
+        relation = load_documents("t", [], storage_format, CONFIG)
+        report = relation.size_report()
+        assert all(value == 0 for value in report.values())
+        assert relation.extracted_fraction() == 0.0
+        assert relation.partition_count == 0
+
+    def test_empty_json_relation(self):
+        relation = load_documents("t", [], StorageFormat.JSON, CONFIG)
+        assert relation.size_report()["json"] == 0
+        assert relation.extracted_fraction() == 0.0
+
+    def test_buffer_only_relation_reports_zero_tiles(self):
+        """Rows sitting in the insert buffer (auto_seal off, fewer than
+        tile_size) are not sealed tiles: reports stay at zero instead
+        of dividing by an empty tile list."""
+        relation = Relation("t", StorageFormat.TILES, CONFIG)
+        relation.auto_seal = False
+        for doc in tweets(5):
+            relation.insert(doc)
+        assert relation.pending_inserts == 5
+        assert relation.tiles == []
+        assert relation.extracted_fraction() == 0.0
+        assert all(v == 0 for v in relation.size_report().values())
+        # sealing the straggler buffer makes the reports real
+        relation.flush_inserts()
+        assert relation.pending_inserts == 0
+        assert relation.extracted_fraction() > 0.0
+        assert relation.size_report()["tiles"] > 0
+
+
 class TestParallelLoading:
     def test_multiworker_matches_singleworker(self):
         docs = tweets(256)
