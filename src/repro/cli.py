@@ -146,6 +146,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         metavar="MB",
                         help="resolved-tile cache capacity in MiB "
                              "(0 disables the cache)")
+    parser.add_argument("--no-shred", action="store_true",
+                        help="resolve fallback paths one traversal per "
+                             "path instead of the single-pass "
+                             "multi-path shredder (ablation; also "
+                             "REPRO_MULTIPATH_SHRED=0)")
     parser.add_argument("--checkpoint-interval", type=float, default=60.0,
                         metavar="SECONDS",
                         help="periodic checkpoint cadence (0 disables)")
@@ -187,6 +192,7 @@ def serve_main(argv: List[str], out) -> int:
             query_workers=args.query_workers,
             parallelism=args.workers,
             cache_mb=args.cache_mb,
+            multipath_shred=not args.no_shred,
             checkpoint_interval=args.checkpoint_interval or None,
             maintenance=args.maintenance,
             maintenance_config=maintenance_config,

@@ -32,10 +32,11 @@ def _describe(node, analyze: bool = False) -> str:
         workers = (f", parallelism={node.parallelism}"
                    if node.parallelism > 1 else "")
         cache = ", cached" if node.use_cache else ""
+        shred = ", shredded" if node.multipath_shred else ""
         text = (f"TableScan {node.relation.name} "
                 f"[{node.relation.format.value}] "
                 f"({len(node.requests)} accesses{predicate}{skips}{prunes}"
-                f"{workers}{cache})")
+                f"{workers}{cache}{shred})")
         if analyze:
             stats = ", ".join(f"{name}={value}" for name, value
                               in node.counters.as_dict().items())

@@ -494,6 +494,7 @@ class Planner:
                 batch_rows=self.options.batch_rows,
                 parallelism=self.options.parallelism,
                 use_cache=self.options.tile_cache,
+                multipath_shred=self.options.enable_multipath_shred,
             )
             self.scans.append(scan)
             return scan

@@ -26,6 +26,15 @@ def _default_tile_cache() -> bool:
         "1", "true", "yes", "on")
 
 
+def _default_multipath_shred() -> bool:
+    """On unless ``REPRO_MULTIPATH_SHRED`` disables it (benchmarks
+    ablate the single-pass shredder against per-path traversal)."""
+    raw = os.environ.get("REPRO_MULTIPATH_SHRED", "")
+    if not raw:
+        return True
+    return raw.lower() in ("1", "true", "yes", "on")
+
+
 def alias_of_column(name: str) -> str:
     """Recover the source alias from a column name.
 
@@ -155,3 +164,8 @@ class QueryOptions:
     #: share resolved fallback columns across queries through the
     #: process-wide LRU (server default; embedded opt-in).
     tile_cache: bool = field(default_factory=_default_tile_cache)
+    #: resolve all of a tuple's fallback paths in one JSONB walk
+    #: (Sinew/Dremel-style shredding) instead of one traversal per
+    #: path; off reproduces the per-path baseline for ablation.
+    enable_multipath_shred: bool = field(
+        default_factory=_default_multipath_shred)

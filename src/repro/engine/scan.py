@@ -16,6 +16,15 @@ request per tile:
 
 Tiles whose header proves a null-rejected path cannot occur are skipped
 entirely (Section 4.8).
+
+All fallback sites shred *every* requested path of a tuple in one pass
+over its binary representation (``repro.jsonb.shred``, Sinew/Dremel
+style) instead of walking the document once per path; the
+``multipath_shred`` switch restores the per-path traversal for
+ablation.  Counter semantics are independent of the switch:
+``fallback_lookups`` counts *logical* path resolutions (tuples ×
+paths), so Table-5-style numbers are comparable between modes, while
+``shred_passes`` / ``shred_paths`` expose the physical walk sharing.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ import json
 import threading
 from dataclasses import dataclass, fields
 from functools import partial
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +44,8 @@ from repro.engine.batch import Batch
 from repro.engine.expressions import Expression
 from repro.engine.morsels import Morsel, run_ordered
 from repro.jsonb.access import JsonbValue
+from repro.jsonb.shred import ShredPlan, compile_paths, shred_jsonb, \
+    shred_python
 from repro.storage.column import ColumnBuilder, ColumnVector
 from repro.storage.formats import StorageFormat
 from repro.storage.relation import Relation
@@ -81,6 +92,13 @@ class ScanCounters:
     fallback_tiles: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: single-pass document walks performed by the multi-path shredder
+    #: (one per tuple per fallback group decode).
+    shred_passes: int = 0
+    #: path results those walks produced (tuples × distinct paths);
+    #: ``shred_paths - shred_passes`` is the number of per-path
+    #: document traversals the shredder avoided.
+    shred_paths: int = 0
 
     def merge(self, other: "ScanCounters") -> "ScanCounters":
         for field in fields(self):
@@ -131,7 +149,8 @@ class TableScan:
                  enable_skipping: bool = True,
                  batch_rows: int = 4096,
                  parallelism: int = 1,
-                 use_cache: bool = False):
+                 use_cache: bool = False,
+                 multipath_shred: bool = True):
         self.relation = relation
         self.requests = list(requests)
         self.predicate = predicate
@@ -141,8 +160,13 @@ class TableScan:
         self.batch_rows = batch_rows
         self.parallelism = max(1, parallelism)
         self.use_cache = use_cache
+        self.multipath_shred = multipath_shred
         self.counters = ScanCounters()
         self._counters_lock = threading.Lock()
+        #: compiled shred plans per distinct path tuple; worker threads
+        #: may race to build the same plan — compilation is pure, so
+        #: last-write-wins is harmless
+        self._shred_plans: Dict[tuple, ShredPlan] = {}
 
     # ------------------------------------------------------------------
     # morsel enumeration + dispatch
@@ -229,42 +253,45 @@ class TableScan:
 
     def _resolve_tile(self, tile: Tile, start: int, stop: int,
                       counters: ScanCounters) -> Batch:
-        columns: Dict[str, ColumnVector] = {}
+        resolved: Dict[str, Optional[ColumnVector]] = {}
+        fallback: List[AccessRequest] = []
+        conflicts: List[Tuple[AccessRequest, ColumnVector, np.ndarray]] = []
         for request in self.requests:
-            columns[request.name] = self._resolve_request(tile, request,
-                                                          start, stop,
-                                                          counters)
-        return Batch(columns, stop - start)
-
-    def _resolve_request(self, tile: Tile, request: AccessRequest,
-                         start: int, stop: int,
-                         counters: ScanCounters) -> ColumnVector:
-        if request.path == ROWID_PATH:
-            data = np.arange(tile.first_row + start, tile.first_row + stop,
-                             dtype=np.int64)
-            return ColumnVector(ColumnType.INT64, data)
-        column = tile.column(request.path)
-        if column is None:
-            return self._fallback_all(tile, request, start, stop, counters)
-        meta = tile.header.columns[request.path]
-        direct = self._convert_column(column, meta, request, start, stop)
-        if direct is None:
-            return self._fallback_all(tile, request, start, stop, counters)
-        if meta.has_type_conflicts and direct.null_mask.any():
-            # Section 3.4: only *stored* NULL slots mark "consult the
-            # JSONB"; NULLs the cast itself introduced (out-of-range
-            # float, unparseable string) are genuine SQL NULLs.  When
-            # the slice has no stored NULL, skip the fallback — and the
-            # defensive copy — entirely.
-            stored_nulls = column.null_mask[start:stop]
-            if stored_nulls.any():
-                # the direct vector may alias tile storage: copy before
-                # the fallback patches outlier values in
-                direct = ColumnVector(direct.type, direct.data.copy(),
-                                      direct.null_mask)
-                self._fallback_conflicts(tile, request, direct, start,
-                                         stored_nulls, counters)
-        return direct
+            if request.path == ROWID_PATH:
+                data = np.arange(tile.first_row + start,
+                                 tile.first_row + stop, dtype=np.int64)
+                resolved[request.name] = ColumnVector(ColumnType.INT64, data)
+                continue
+            column = tile.column(request.path)
+            direct = None
+            if column is not None:
+                meta = tile.header.columns[request.path]
+                direct = self._convert_column(column, meta, request,
+                                              start, stop)
+            if direct is None:
+                resolved[request.name] = None  # keeps the column order
+                fallback.append(request)
+                continue
+            if meta.has_type_conflicts and direct.null_mask.any():
+                # Section 3.4: only *stored* NULL slots mark "consult
+                # the JSONB"; NULLs the cast itself introduced
+                # (out-of-range float, unparseable string) are genuine
+                # SQL NULLs.  When the slice has no stored NULL, skip
+                # the fallback — and the defensive copy — entirely.
+                stored_nulls = column.null_mask[start:stop]
+                if stored_nulls.any():
+                    # the direct vector may alias tile storage: copy
+                    # before the fallback patches outlier values in
+                    direct = ColumnVector(direct.type, direct.data.copy(),
+                                          direct.null_mask)
+                    conflicts.append((request, direct, stored_nulls))
+            resolved[request.name] = direct
+        if fallback:
+            resolved.update(self._fallback_group(tile, fallback, start,
+                                                 stop, counters))
+        if conflicts:
+            self._patch_conflicts(tile, conflicts, start, counters)
+        return Batch(resolved, stop - start)
 
     def _convert_column(self, column: ColumnVector, meta, request,
                         start: int, stop: int) -> Optional[ColumnVector]:
@@ -296,9 +323,7 @@ class TableScan:
             if target == ColumnType.BOOL:
                 return ColumnVector(target, data.astype(bool), nulls)
             if target == ColumnType.STRING:
-                text = np.array([str(item) for item in data.tolist()],
-                                dtype=object)
-                return ColumnVector(target, text, nulls)
+                return ColumnVector(target, _int64_to_text(data), nulls)
             return None
         if stored == ColumnType.FLOAT64:
             if target in (ColumnType.FLOAT64, ColumnType.DECIMAL):
@@ -306,12 +331,7 @@ class TableScan:
             if target == ColumnType.INT64:
                 return _float_to_int64(data, nulls)
             if target == ColumnType.STRING:
-                text = np.array(
-                    [str(int(item)) if item == int(item) else repr(item)
-                     for item in data.tolist()],
-                    dtype=object,
-                )
-                return ColumnVector(target, text, nulls)
+                return ColumnVector(target, _float64_to_text(data), nulls)
             return None
         if stored == ColumnType.BOOL:
             if target == ColumnType.BOOL:
@@ -319,9 +339,7 @@ class TableScan:
             if target == ColumnType.INT64:
                 return ColumnVector(target, data.astype(np.int64), nulls)
             if target == ColumnType.STRING:
-                text = np.array(["true" if item else "false"
-                                 for item in data.tolist()], dtype=object)
-                return ColumnVector(target, text, nulls)
+                return ColumnVector(target, _bool_to_text(data), nulls)
             return None
         if stored == ColumnType.STRING:
             if target == ColumnType.STRING:
@@ -336,82 +354,213 @@ class TableScan:
     # ------------------------------------------------------------------
     # JSONB / text fallbacks
 
-    def _fallback_all(self, tile: Tile, request: AccessRequest,
-                      start: int, stop: int,
-                      counters: ScanCounters) -> ColumnVector:
-        counters.fallback_tiles += 1
-        if self.use_cache:
-            key = make_key(self.relation.name, tile.uid, request.path,
-                           request.target, request.as_text)
-            cached = GLOBAL_TILE_CACHE.lookup(key)
+    def _plan_for(self, paths: Tuple[KeyPath, ...]) -> ShredPlan:
+        plan = self._shred_plans.get(paths)
+        if plan is None:
+            plan = self._shred_plans[paths] = compile_paths(paths)
+        return plan
+
+    def _fallback_group(self, tile: Tile, requests: List[AccessRequest],
+                        start: int, stop: int,
+                        counters: ScanCounters) -> Dict[str, ColumnVector]:
+        counters.fallback_tiles += len(requests)
+        if not self.use_cache:
+            return self._decode_fallback_group(tile, requests, start, stop,
+                                               counters)
+        keys = {request.name: make_key(self.relation.name, tile.uid,
+                                       request.path, request.target,
+                                       request.as_text)
+                for request in requests}
+        resolved: Dict[str, ColumnVector] = {}
+        missing: List[AccessRequest] = []
+        for request in requests:
+            cached = GLOBAL_TILE_CACHE.lookup(keys[request.name])
             if cached is None:
                 counters.cache_misses += 1
-                # decode the whole tile once so every later slice — in
-                # this query or any concurrent one — is a cache hit
-                cached = self._decode_fallback(tile, request, 0,
-                                               tile.row_count, counters)
-                GLOBAL_TILE_CACHE.store(key, cached)
+                missing.append(request)
             else:
                 counters.cache_hits += 1
-            if start == 0 and stop == tile.row_count:
-                return cached
-            return ColumnVector(cached.type, cached.data[start:stop],
-                                cached.null_mask[start:stop])
-        return self._decode_fallback(tile, request, start, stop, counters)
+                resolved[request.name] = cached
+        if missing:
+            # decode the whole tile once — one shred pass fills every
+            # missed (path, type) and stores one cache entry per
+            # request, so a k-path cache miss costs one decode, and
+            # every later slice (this query or any concurrent one) is
+            # a cache hit
+            decoded = self._decode_fallback_group(tile, missing, 0,
+                                                  tile.row_count, counters)
+            GLOBAL_TILE_CACHE.store_many(
+                (keys[name], vector) for name, vector in decoded.items())
+            resolved.update(decoded)
+        if start == 0 and stop == tile.row_count:
+            return resolved
+        return {name: ColumnVector(vector.type, vector.data[start:stop],
+                                   vector.null_mask[start:stop])
+                for name, vector in resolved.items()}
 
-    def _decode_fallback(self, tile: Tile, request: AccessRequest,
-                         start: int, stop: int,
-                         counters: ScanCounters) -> ColumnVector:
-        result_type = (ColumnType.JSONB if request.target == ColumnType.JSONB
-                       else request.target)
-        builder = ColumnBuilder(result_type)
-        path = request.path
-        counters.fallback_lookups += stop - start
+    def _decode_fallback_group(self, tile: Tile,
+                               requests: List[AccessRequest],
+                               start: int, stop: int,
+                               counters: ScanCounters) \
+            -> Dict[str, ColumnVector]:
+        """Resolve a group of fallback requests over one tuple range.
+
+        ``fallback_lookups`` counts logical (tuple, path) resolutions —
+        identical whichever physical strategy runs below."""
+        counters.fallback_lookups += (stop - start) * len(requests)
+        builders = {
+            request.name: ColumnBuilder(
+                ColumnType.JSONB if request.target == ColumnType.JSONB
+                else request.target)
+            for request in requests}
+        rows = tile.jsonb_rows
+        if not self.multipath_shred:
+            # ablation baseline: one full document traversal per path
+            for request in requests:
+                append = builders[request.name].append
+                getter = _jsonb_getter(request)
+                path = request.path
+                for row in range(start, stop):
+                    value = JsonbValue(rows[row]).get_path(path)
+                    append(None if value is None else getter(value))
+            return {name: builder.finish()
+                    for name, builder in builders.items()}
+        plan = self._plan_for(tuple(sorted({r.path for r in requests})))
+        slots = [(plan.slots[request.path], _jsonb_getter(request),
+                  builders[request.name].append) for request in requests]
         for row in range(start, stop):
-            value = JsonbValue(tile.jsonb_rows[row]).get_path(path)
-            builder.append(_typed_from_jsonb(value, request))
-        return builder.finish()
+            values = shred_jsonb(plan, rows[row])
+            for slot, getter, append in slots:
+                value = values[slot]
+                append(None if value is None else getter(value))
+        counters.shred_passes += stop - start
+        counters.shred_paths += (stop - start) * len(plan)
+        return {name: builder.finish() for name, builder in builders.items()}
 
-    def _fallback_conflicts(self, tile: Tile, request: AccessRequest,
-                            vector: ColumnVector, start: int,
-                            stored_nulls: np.ndarray,
-                            counters: ScanCounters) -> None:
+    def _patch_conflicts(self, tile: Tile,
+                         conflicts: List[Tuple[AccessRequest, ColumnVector,
+                                               np.ndarray]],
+                         start: int, counters: ScanCounters) -> None:
         """Section 3.4: on access, traverse the binary representation
-        when the *stored* extracted value is NULL (a type outlier)."""
-        path = request.path
-        for local in np.flatnonzero(stored_nulls):
-            value = JsonbValue(tile.jsonb_rows[start + int(local)]).get_path(path)
-            counters.fallback_lookups += 1
-            if value is None:
-                continue
-            typed = _typed_from_jsonb(value, request)
-            if typed is None:
-                continue
-            vector.data[local] = typed
-            vector.null_mask[local] = False
+        when the *stored* extracted value is NULL (a type outlier).
+        All conflicted requests of the tile patch in one pass: each
+        outlier tuple is shredded once for every conflicted path."""
+        for _request, _vector, stored_nulls in conflicts:
+            counters.fallback_lookups += int(np.count_nonzero(stored_nulls))
+        if not self.multipath_shred or len(conflicts) == 1:
+            for request, vector, stored_nulls in conflicts:
+                path = request.path
+                for local in np.flatnonzero(stored_nulls):
+                    value = JsonbValue(
+                        tile.jsonb_rows[start + int(local)]).get_path(path)
+                    _patch_slot(vector, int(local), value, request)
+            return
+        plan = self._plan_for(tuple(sorted({r.path for r, _v, _n
+                                            in conflicts})))
+        needed = np.zeros(len(conflicts[0][2]), dtype=bool)
+        for _request, _vector, stored_nulls in conflicts:
+            needed |= stored_nulls
+        for local in np.flatnonzero(needed):
+            local = int(local)
+            values = shred_jsonb(plan, tile.jsonb_rows[start + local])
+            counters.shred_passes += 1
+            for request, vector, stored_nulls in conflicts:
+                if stored_nulls[local]:
+                    counters.shred_paths += 1
+                    _patch_slot(vector, local,
+                                values[plan.slots[request.path]], request)
 
     def _resolve_text(self, start: int, stop: int,
                       counters: ScanCounters) -> Batch:
-        # Raw text storage (PostgreSQL `json` / Hyper): every access
-        # expression re-parses the document string — the full-parse
-        # cost the paper's JSON competitor pays per lookup.
+        # Raw text storage (PostgreSQL `json` / Hyper): the full-parse
+        # cost the paper's JSON competitor pays.  Each document is
+        # parsed *once* per scan and shared by every access request;
+        # with shredding on, the parsed value is walked once for all
+        # requested paths too.
         rows = self.relation.text_rows or []
         chunk = rows[start:stop]
         counters.rows_scanned += len(chunk)
-        columns: Dict[str, ColumnVector] = {}
+        columns: Dict[str, Optional[ColumnVector]] = {}
+        requests: List[AccessRequest] = []
         for request in self.requests:
             if request.path == ROWID_PATH:
                 data = np.arange(start, start + len(chunk), dtype=np.int64)
                 columns[request.name] = ColumnVector(ColumnType.INT64, data)
                 continue
-            builder = ColumnBuilder(request.target)
+            columns[request.name] = None  # keeps the column order
+            requests.append(request)
+        if not requests:
+            return Batch(columns, len(chunk))
+        counters.fallback_lookups += len(chunk) * len(requests)
+        counters.fallback_tiles += len(requests)
+        builders = {request.name: ColumnBuilder(request.target)
+                    for request in requests}
+        if self.multipath_shred:
+            plan = self._plan_for(tuple(sorted({r.path for r in requests})))
+            slots = [(plan.slots[request.path], request,
+                      builders[request.name].append) for request in requests]
             for row in chunk:
-                raw = request.path.lookup(json.loads(row))
-                builder.append(_typed_from_python(raw, request))
-            counters.fallback_lookups += len(chunk)
-            counters.fallback_tiles += 1
-            columns[request.name] = builder.finish()
+                values = shred_python(plan, json.loads(row))
+                for slot, request, append in slots:
+                    append(_typed_from_python(values[slot], request))
+            counters.shred_passes += len(chunk)
+            counters.shred_paths += len(chunk) * len(plan)
+        else:
+            for row in chunk:
+                document = json.loads(row)
+                for request in requests:
+                    builders[request.name].append(_typed_from_python(
+                        request.path.lookup(document), request))
+        for name, builder in builders.items():
+            columns[name] = builder.finish()
         return Batch(columns, len(chunk))
+
+
+def _int64_to_text(data: np.ndarray) -> np.ndarray:
+    """Vectorized ``str(int)`` (text access on an integer column)."""
+    if len(data) == 0:
+        return np.zeros(0, dtype=object)
+    return np.char.mod("%d", data).astype(object)
+
+
+def _bool_to_text(data: np.ndarray) -> np.ndarray:
+    """Vectorized JSON bool rendering (``"true"`` / ``"false"``)."""
+    return np.where(data, "true", "false").astype(object)
+
+
+def _float64_to_text(data: np.ndarray) -> np.ndarray:
+    """Text access on a float column: integral values render as their
+    integer text (JSON ``1.0`` round-trips to ``"1"``), everything
+    else as Python's shortest-roundtrip ``repr``.  Integral values in
+    int64 range are formatted vectorized; the (rare) rest falls back
+    to per-element formatting."""
+    out = np.empty(len(data), dtype=object)
+    if len(data) == 0:
+        return out
+    integral = np.isfinite(data) & (data == np.floor(data))
+    small = integral & (np.abs(data) < 2.0**63)
+    if small.any():
+        out[small] = np.char.mod("%d", data[small].astype(np.int64)) \
+            .astype(object)
+    rest = ~small
+    if rest.any():
+        big = integral & rest
+        out[big] = [str(int(item)) for item in data[big].tolist()]
+        frac = rest & ~integral
+        out[frac] = [repr(item) for item in data[frac].tolist()]
+    return out
+
+
+def _patch_slot(vector: ColumnVector, local: int,
+                value: Optional[JsonbValue],
+                request: AccessRequest) -> None:
+    if value is None:
+        return
+    typed = _typed_from_jsonb(value, request)
+    if typed is None:
+        return
+    vector.data[local] = typed
+    vector.null_mask[local] = False
 
 
 def _float_to_int64(data: np.ndarray, nulls: np.ndarray) -> ColumnVector:
@@ -455,22 +604,31 @@ def _parse_string_column(data: np.ndarray, nulls: np.ndarray,
     return ColumnVector(result_type, out, out_nulls)
 
 
+#: unbound typed getters per target (cast rewriting, Section 4.3).
+#: Every getter maps a JSON null to ``None`` itself, so no separate
+#: ``is_null`` probe is needed per value.
+_JSONB_GETTERS = {
+    ColumnType.JSONB: JsonbValue.as_python,
+    ColumnType.INT64: JsonbValue.as_int,
+    ColumnType.FLOAT64: JsonbValue.as_float,
+    ColumnType.DECIMAL: JsonbValue.as_float,
+    ColumnType.BOOL: JsonbValue.as_bool,
+    ColumnType.TIMESTAMP: JsonbValue.as_timestamp,
+    ColumnType.STRING: JsonbValue.as_text,
+}
+
+
+def _jsonb_getter(request: AccessRequest):
+    """The per-value conversion the fallback loops hoist out of the
+    row loop."""
+    return _JSONB_GETTERS.get(request.target, JsonbValue.as_text)
+
+
 def _typed_from_jsonb(value: Optional[JsonbValue],
                       request: AccessRequest) -> object:
-    if value is None or value.is_null():
+    if value is None:
         return None
-    target = request.target
-    if target == ColumnType.JSONB:
-        return value.as_python()
-    if target == ColumnType.INT64:
-        return value.as_int()
-    if target in (ColumnType.FLOAT64, ColumnType.DECIMAL):
-        return value.as_float()
-    if target == ColumnType.BOOL:
-        return value.as_bool()
-    if target == ColumnType.TIMESTAMP:
-        return value.as_timestamp()
-    return value.as_text()
+    return _JSONB_GETTERS.get(request.target, JsonbValue.as_text)(value)
 
 
 def _typed_from_python(raw: object, request: AccessRequest) -> object:

@@ -93,6 +93,7 @@ class JsonTilesServer:
                  query_workers: int = 8,
                  parallelism: int = 1,
                  cache_mb: float = 64.0,
+                 multipath_shred: Optional[bool] = None,
                  checkpoint_interval: Optional[float] = None,
                  maintenance: bool = False,
                  maintenance_config: Optional[MaintenanceConfig] = None):
@@ -111,6 +112,10 @@ class JsonTilesServer:
         self.default_options = QueryOptions(
             parallelism=self.parallelism,
             tile_cache=cache_mb > 0)
+        if multipath_shred is not None:
+            # None keeps the QueryOptions default (on, or the
+            # REPRO_MULTIPATH_SHRED override)
+            self.default_options.enable_multipath_shred = multipath_shred
         self.checkpoint_interval = checkpoint_interval
         #: online maintenance (DESIGN.md §6d): tile health, §3.2
         #: reordering and re-extraction as a background asyncio task

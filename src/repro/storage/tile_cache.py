@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Tuple
 
 from repro.storage.column import ColumnVector
 
@@ -80,15 +80,30 @@ class ResolvedTileCache:
             return entry[0]
 
     def store(self, key: CacheKey, vector: ColumnVector) -> None:
-        size = _vector_bytes(vector)
-        if size > self.capacity_bytes:
-            return  # a single oversized column would evict everything
+        self.store_many([(key, vector)])
+
+    def store_many(
+            self,
+            entries: Iterable[Tuple[CacheKey, ColumnVector]]) -> None:
+        """Insert a batch of entries under one lock acquisition.
+
+        The multi-path shredder resolves every fallback path of a tile
+        in one decode pass and fans the results out here — one cache
+        entry per (path, type) produced, so a k-path cache miss costs
+        one traversal of the tile's documents instead of k.
+        """
+        sized = [(key, vector, size) for key, vector in entries
+                 # a single oversized column would evict everything
+                 if (size := _vector_bytes(vector)) <= self.capacity_bytes]
+        if not sized:
+            return
         with self._lock:
-            old = self._entries.pop(key, None)
-            if old is not None:
-                self._bytes -= old[1]
-            self._entries[key] = (vector, size)
-            self._bytes += size
+            for key, vector, size in sized:
+                old = self._entries.pop(key, None)
+                if old is not None:
+                    self._bytes -= old[1]
+                self._entries[key] = (vector, size)
+                self._bytes += size
             while self._bytes > self.capacity_bytes and self._entries:
                 _, (_, evicted_size) = self._entries.popitem(last=False)
                 self._bytes -= evicted_size

@@ -43,9 +43,10 @@ TARGETS = [ColumnType.INT64, ColumnType.FLOAT64, ColumnType.STRING,
            ColumnType.BOOL]
 
 
-def scan_values(relation, path, target):
+def scan_values(relation, path, target, multipath_shred=True):
     request = AccessRequest.make("t", path, target, as_text=True)
-    scan = TableScan(relation, [request], enable_skipping=True)
+    scan = TableScan(relation, [request], enable_skipping=True,
+                     multipath_shred=multipath_shred)
     batch = concat_batches(list(scan.batches()))
     if batch is None:
         return []
@@ -54,17 +55,39 @@ def scan_values(relation, path, target):
 
 class TestTilesEqualJsonb:
     @settings(max_examples=30, deadline=None)
-    @given(st.lists(document_strategy, min_size=1, max_size=40))
-    def test_every_access_identical(self, documents):
+    @given(st.lists(document_strategy, min_size=1, max_size=40),
+           st.booleans(), st.booleans())
+    def test_every_access_identical(self, documents, shred_tiles,
+                                    shred_jsonb):
         tiles = load_documents("t", documents, StorageFormat.TILES, CONFIG)
         jsonb = load_documents("t", documents, StorageFormat.JSONB, CONFIG)
         for path in PATHS:
             for target in TARGETS:
-                left = scan_values(tiles, path, target)
-                right = scan_values(jsonb, path, target)
+                # the shredder toggle is drawn per example: every
+                # on/off pairing of both representations must agree
+                left = scan_values(tiles, path, target,
+                                   multipath_shred=shred_tiles)
+                right = scan_values(jsonb, path, target,
+                                    multipath_shred=shred_jsonb)
                 # reordering permutes rows: compare as multisets
                 assert _multiset(_norm(left)) == _multiset(_norm(right)), \
-                    (str(path), target)
+                    (str(path), target, shred_tiles, shred_jsonb)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(document_strategy, min_size=1, max_size=40))
+    def test_multipath_scan_matches_per_path(self, documents):
+        # all paths in ONE scan (shared trie, one walk per tuple) must
+        # equal the same paths resolved one scan at a time
+        jsonb = load_documents("t", documents, StorageFormat.JSONB, CONFIG)
+        requests = [AccessRequest.make("t", path, ColumnType.STRING,
+                                       as_text=True) for path in PATHS]
+        scan = TableScan(jsonb, requests, multipath_shred=True)
+        batch = concat_batches(list(scan.batches()))
+        for request, path in zip(requests, PATHS):
+            single = scan_values(jsonb, path, ColumnType.STRING,
+                                 multipath_shred=False)
+            assert batch.column(request.name).to_list() == single, \
+                str(path)
 
     @settings(max_examples=20, deadline=None)
     @given(st.lists(document_strategy, min_size=1, max_size=40))

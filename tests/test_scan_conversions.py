@@ -94,3 +94,54 @@ class TestSubsetDictionary:
         parent, transactions = encode_documents(docs)
         local, _ = subset_dictionary(parent, transactions)
         assert len(local) == len(parent)
+
+
+class TestVectorizedTextRendering:
+    """Pin the exact string forms of the vectorized stored->STRING
+    casts (``_int64_to_text`` / ``_float64_to_text`` /
+    ``_bool_to_text``): they must match what the per-value JSONB
+    fallback renders, so direct-column and fallback tiles agree."""
+
+    def test_int64_exact_forms(self):
+        docs = [{"v": n} for n in
+                [0, 7, -7, 2**62, -(2**62), 123456789]] * 2
+        values, counters = scan_one(docs, "v", ColumnType.STRING)
+        assert values == ["0", "7", "-7", str(2**62), str(-(2**62)),
+                          "123456789"] * 2
+        assert counters.fallback_lookups == 0
+
+    def test_bool_renders_json_literals(self):
+        docs = [{"v": b} for b in [True, False]] * 6
+        values, counters = scan_one(docs, "v", ColumnType.STRING)
+        assert values == ["true", "false"] * 6
+        assert counters.fallback_lookups == 0
+
+    def test_float_integral_renders_as_integer(self):
+        # JSON 1.0 and 1 are the same number: text access renders the
+        # integer form, exactly like JsonbValue.as_text
+        docs = [{"v": f} for f in [1.0, -3.0, 0.0, 1e15]] * 2
+        values, _ = scan_one(docs, "v", ColumnType.STRING)
+        assert values == ["1", "-3", "0", "1000000000000000"] * 2
+
+    def test_float_fractional_shortest_roundtrip(self):
+        docs = [{"v": f} for f in [0.1, 2.5, -19.875, 1e-4]] * 2
+        values, _ = scan_one(docs, "v", ColumnType.STRING)
+        assert values == ["0.1", "2.5", "-19.875", "0.0001"] * 2
+
+    def test_float_beyond_int64_range(self):
+        # integral but too large for the vectorized int64 fast path
+        docs = [{"v": 1e20} for _ in range(8)]
+        values, _ = scan_one(docs, "v", ColumnType.STRING)
+        assert values == [str(int(1e20))] * 8
+
+    def test_matches_fallback_rendering(self):
+        # the same numbers through the JSONB fallback (no extracted
+        # column) must render identically to the vectorized cast
+        numbers = [0, 7, -7, 123456789, 1.0, -3.0, 0.1, 2.5, 1e15,
+                   1e20]
+        docs = [{"v": n} for n in numbers] * 2
+        direct, _ = scan_one(docs, "v", ColumnType.STRING)
+        fallback, counters = scan_one(docs, "v", ColumnType.STRING,
+                                      storage_format=StorageFormat.JSONB)
+        assert counters.fallback_lookups == len(docs)
+        assert direct == fallback
