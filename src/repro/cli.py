@@ -146,6 +146,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         metavar="MB",
                         help="resolved-tile cache capacity in MiB "
                              "(0 disables the cache)")
+    parser.add_argument("--memory-mb", type=float, default=None,
+                        metavar="MB",
+                        help="tile residency budget in MiB shared by "
+                             "raw tile bytes and the resolved-tile "
+                             "cache; clean tiles beyond it are paged "
+                             "out to their .jtile segments and "
+                             "re-read on demand (default: unlimited, "
+                             "or REPRO_MEMORY_MB; 0 = unlimited)")
     parser.add_argument("--no-shred", action="store_true",
                         help="resolve fallback paths one traversal per "
                              "path instead of the single-pass "
@@ -192,6 +200,7 @@ def serve_main(argv: List[str], out) -> int:
             query_workers=args.query_workers,
             parallelism=args.workers,
             cache_mb=args.cache_mb,
+            memory_mb=args.memory_mb,
             multipath_shred=not args.no_shred,
             checkpoint_interval=args.checkpoint_interval or None,
             maintenance=args.maintenance,

@@ -98,6 +98,16 @@ class Database:
         if relation is not None:
             for path_text in relation.children:
                 self.tables.pop(self._child_table_name(name, path_text), None)
+            # release residency charges and cached columns eagerly
+            # instead of waiting for the handles to be collected
+            from repro.storage.tile_cache import GLOBAL_TILE_CACHE
+            from repro.storage.tilestore import GLOBAL_TILE_STORE
+
+            GLOBAL_TILE_STORE.discard_table(relation.name)
+            GLOBAL_TILE_CACHE.invalidate_table(relation.name)
+            for child in relation.children.values():
+                GLOBAL_TILE_STORE.discard_table(child.name)
+                GLOBAL_TILE_CACHE.invalidate_table(child.name)
 
     # ------------------------------------------------------------------
     # durable lifecycle (used by repro.server)

@@ -33,8 +33,12 @@ T = TypeVar("T")
 class Morsel:
     """One unit of scan work: a row range of one tile.
 
-    ``tile`` is ``None`` for the raw-text storage format, where the
-    range indexes the relation's text rows instead.
+    ``tile`` is a :class:`~repro.storage.tilestore.TileHandle`; the
+    worker that resolves the morsel pins it for the duration, so a
+    paged-out payload is faulted in at most once per morsel and can't
+    be evicted mid-resolution.  ``tile`` is ``None`` for the raw-text
+    storage format, where the range indexes the relation's text rows
+    instead.
     """
 
     index: int

@@ -99,6 +99,12 @@ class ScanCounters:
     #: ``shred_paths - shred_passes`` is the number of per-path
     #: document traversals the shredder avoided.
     shred_paths: int = 0
+    #: tile payloads this scan faulted in from disk (out-of-core
+    #: residency; 0 means every touched tile was already resident)
+    tile_loads: int = 0
+    #: tiles the residency budget paged out while this scan's pins
+    #: pushed it over — eviction churn attributable to this query
+    tile_evictions: int = 0
 
     def merge(self, other: "ScanCounters") -> "ScanCounters":
         for field in fields(self):
@@ -200,8 +206,13 @@ class TableScan:
         if morsel.tile is None:
             batch = self._resolve_text(morsel.start, morsel.stop, local)
         else:
-            batch = self._resolve_tile(morsel.tile, morsel.start,
-                                       morsel.stop, local)
+            # pin for the duration of the morsel: the payload cannot be
+            # evicted while its columns are being sliced (the produced
+            # batch keeps the underlying arrays alive by reference, so
+            # eviction after unpin is safe)
+            with morsel.tile.pinned(local) as tile:
+                batch = self._resolve_tile(tile, morsel.start,
+                                           morsel.stop, local)
         batch = self._apply_predicate(batch)
         with self._counters_lock:
             self.counters.merge(local)
@@ -221,7 +232,10 @@ class TableScan:
             if batch.length:
                 yield batch
 
-    def _can_skip(self, tile: Tile) -> bool:
+    def _can_skip(self, tile) -> bool:
+        # *tile* is a TileHandle; everything consulted here lives in
+        # the always-resident header, so skipping never faults a
+        # paged-out tile in — skipped tiles cost zero disk reads
         if not self.enable_skipping:
             return False
         if not self.relation.format.supports_skipping:

@@ -250,6 +250,7 @@ class MaintenanceDaemon:
             tables[name] = {
                 "extracted_fraction": round(relation.extracted_fraction(), 4),
                 "fallback_rate": round(tracker.fallback_rate, 4),
+                "eviction_churn": tracker.eviction_churn,
                 "pending": relation.pending_inserts,
                 "partitions": [health.as_dict()
                                for health in tracker.snapshot()],

@@ -54,6 +54,10 @@ class PartitionHealth:
     rows_since_reorg: int = 0
     attempts: int = 0
     cooldown: int = 0
+    #: tile payloads of this partition the residency budget paged out
+    #: (eviction churn: a hot partition that keeps cycling through the
+    #: budget is a signal for the operator to raise ``--memory-mb``)
+    evictions: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -65,6 +69,7 @@ class PartitionHealth:
             "rows_since_reorg": self.rows_since_reorg,
             "attempts": self.attempts,
             "cooldown": self.cooldown,
+            "evictions": self.evictions,
         }
 
 
@@ -80,6 +85,8 @@ class HealthTracker:
         self._tile_updates: Dict[int, int] = {}
         self._scan_seen = {"fallback_tiles": 0, "tiles_scanned": 0}
         self._fallback_rate = 0.0
+        #: total payload evictions observed on this relation (churn)
+        self._evictions = 0
         relation.add_event_hook(self._on_event)
 
     # ------------------------------------------------------------------
@@ -122,6 +129,12 @@ class HealthTracker:
                 record = self._record_locked(int(payload))
                 record.rows_since_reorg = 0
                 record.updates = 0
+            elif event == "evict":
+                # the tile store paged this tile's payload out; payload
+                # is the TileHandle (header always resident)
+                self._evictions += 1
+                self._record_locked(self._partition_of(payload)) \
+                    .evictions += 1
         if event == "reorganize":
             # the partition's tiles were rebuilt: their update history
             # no longer describes any live tile
@@ -155,6 +168,12 @@ class HealthTracker:
     def fallback_rate(self) -> float:
         with self._lock:
             return self._fallback_rate
+
+    @property
+    def eviction_churn(self) -> int:
+        """Total payload evictions observed on this relation."""
+        with self._lock:
+            return self._evictions
 
     # ------------------------------------------------------------------
     # planner interface

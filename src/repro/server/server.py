@@ -51,6 +51,7 @@ from repro.engine.plan import QueryOptions
 from repro.errors import ReproError
 from repro.storage.formats import StorageFormat
 from repro.storage.tile_cache import GLOBAL_TILE_CACHE
+from repro.storage.tilestore import GLOBAL_TILE_STORE
 from repro.storage.persist import (
     read_relation_extra,
     save_relation,
@@ -93,6 +94,7 @@ class JsonTilesServer:
                  query_workers: int = 8,
                  parallelism: int = 1,
                  cache_mb: float = 64.0,
+                 memory_mb: Optional[float] = None,
                  multipath_shred: Optional[bool] = None,
                  checkpoint_interval: Optional[float] = None,
                  maintenance: bool = False,
@@ -109,6 +111,10 @@ class JsonTilesServer:
         #: every query that doesn't pin its own options
         self.parallelism = max(1, parallelism)
         self.cache_mb = cache_mb
+        #: process-wide tile residency budget (``serve --memory-mb``);
+        #: None keeps whatever ``REPRO_MEMORY_MB`` configured at import
+        #: (default: unlimited — every loaded tile stays resident)
+        self.memory_mb = memory_mb
         self.default_options = QueryOptions(
             parallelism=self.parallelism,
             tile_cache=cache_mb > 0)
@@ -193,8 +199,10 @@ class JsonTilesServer:
                     _config_from_dict(entry.get("config"), self.config))
         for name in sorted(snapshot_names | set(catalog)):
             self._base[name] = self.db.tables[name]
-            # snapshot reload built fresh Tile objects: entries keyed
-            # on the previous incarnation's uids can never be served
+            # snapshot reload built fresh tile handles: residency
+            # charges and cache entries keyed on the previous
+            # incarnation can never be served again
+            GLOBAL_TILE_STORE.discard_table(name)
             GLOBAL_TILE_CACHE.invalidate_table(name)
         self.wals = WalManager(self.data_dir / "wal", sync=self.wal_sync)
         for name in self.wals.existing_tables():
@@ -219,6 +227,8 @@ class JsonTilesServer:
     async def start(self) -> None:
         if self.cache_mb > 0:
             GLOBAL_TILE_CACHE.set_capacity(int(self.cache_mb * 2**20))
+        if self.memory_mb is not None:
+            GLOBAL_TILE_STORE.set_budget_mb(self.memory_mb)
         self._open_database()
         self.executor = QueryExecutor(self.db, self.locks,
                                       max_workers=self.query_workers)
@@ -582,6 +592,7 @@ class JsonTilesServer:
                 "tiles": len(relation.tiles),
                 "wal_records": self.wals.for_table(table).record_count,
                 "scan": dict(relation.scan_totals),
+                "residency": relation.residency_report(),
             }
         with self._counters_lock:
             counters = dict(self._counters)
@@ -596,7 +607,8 @@ class JsonTilesServer:
                 self.executor.submit_call(self.maintenance.status))
         return protocol.ok_response(
             request_id, tables=tables, counters=counters,
-            cache=GLOBAL_TILE_CACHE.stats(), pool=pool,
+            cache=GLOBAL_TILE_CACHE.stats(),
+            residency=GLOBAL_TILE_STORE.stats(), pool=pool,
             uptime_s=round(uptime, 3), **extra)
 
     async def _cmd_maintenance(self, request: dict, request_id) -> dict:

@@ -239,7 +239,9 @@ def load_documents(
                 tile.jsonb_rows = reordered[
                     offset : offset + tile.header.row_count]
                 offset += tile.header.row_count
-        relation.tiles.extend(tiles)
+        # bulk-loaded tiles enter as dirty handles (no on-disk copy
+        # until the first checkpoint), so the store never evicts them
+        relation.tiles.extend(relation.adopt_tile(tile) for tile in tiles)
         for phase, seconds in job_timings.items():
             timings[phase] = timings.get(phase, 0.0) + seconds
     for tile in relation.tiles:

@@ -1,18 +1,31 @@
 """On-disk persistence for relations.
 
-A relation is written as a single ``.jtile`` file:
+Format v2 (``JTIL2``) lays a relation out for *random* access so the
+tile store can page individual tiles in and out:
 
-* magic ``JTIL1`` (5 bytes),
-* a little-endian u64 with the length of the JSON *catalog*,
-* the catalog: structural metadata (format, config, tiles, extracted
-  columns, statistics, bloom filters) where every bulk payload is
-  replaced by a blob index,
-* the blobs, concatenated in index order (JSONB rows, numpy column
-  data, null bitmaps, HyperLogLog registers, bloom bits).
+* magic ``JTIL2`` (5 bytes),
+* the blobs, streamed in write order (JSONB rows, numpy column data,
+  null bitmaps, HyperLogLog registers, bloom bits),
+* the JSON *catalog* (a footer): structural metadata (format, config,
+  tiles, extracted columns, statistics, bloom filters) where every
+  bulk payload is replaced by a blob id, plus ``blob_index`` — the
+  ``[offset, length]`` of every blob,
+* a little-endian u64 with the catalog length, then the magic again
+  as a trailer (its presence proves the file is complete).
 
-The format is self-contained: ``load_relation`` rebuilds tiles,
-headers, statistics and Tiles-* child relations exactly, so a reopened
-database answers queries identically (verified by tests).
+Because every blob is independently addressable, ``load_relation``
+reads only the catalog eagerly: tile headers, statistics and sketches
+are restored up front (they drive planning and tile skipping), while
+each tile's columns and JSONB heap stay behind a
+:class:`TileSegment` that the :mod:`~repro.storage.tilestore` faults
+in on first pin.  The v1 format (leading catalog with ``blob_sizes``,
+blobs concatenated after it) is still readable — its offsets are just
+the running sum of the sizes — and loads through the same lazy path.
+
+Durability: files are written to a temp sibling, fsynced, atomically
+renamed into place, and the containing directory is fsynced, so a
+crash mid-checkpoint can never leave a torn ``.jtile`` where a
+complete one used to be.
 """
 
 from __future__ import annotations
@@ -38,20 +51,78 @@ from repro.stats.table_stats import (
 from repro.storage.column import ColumnVector, dtype_for
 from repro.storage.formats import StorageFormat
 from repro.storage.relation import Relation
+from repro.storage.tilestore import GLOBAL_TILE_STORE, TileHandle, TileStore
 from repro.tiles.extractor import ExtractionConfig
 from repro.tiles.header import ExtractedColumn, TileHeader
 from repro.tiles.tile import Tile
 
-MAGIC = b"JTIL1"
+MAGIC_V1 = b"JTIL1"
+MAGIC = b"JTIL2"
 
 
 class _BlobWriter:
-    def __init__(self):
-        self.blobs: List[bytes] = []
+    """Streams blobs straight into the file being written, recording
+    the ``[offset, length]`` of each — tiles are pinned one at a time
+    during a save, so peak memory stays one tile, not one relation."""
+
+    def __init__(self, handle: BinaryIO):
+        self._handle = handle
+        self.index: List[List[int]] = []
 
     def add(self, data: bytes) -> int:
-        self.blobs.append(data)
-        return len(self.blobs) - 1
+        self.index.append([self._handle.tell(), len(data)])
+        self._handle.write(data)
+        return len(self.index) - 1
+
+
+class _BlobSource:
+    """Random access to the blobs of one ``.jtile`` file.
+
+    Reads use ``os.pread`` so concurrent tile loads never contend on a
+    shared file position.  The open descriptor keeps the *inode* alive:
+    when a checkpoint atomically replaces the path, segments bound to
+    the old file keep reading consistent bytes until they are re-bound
+    to the new snapshot.
+    """
+
+    def __init__(self, path: Union[str, Path], index: List[List[int]]):
+        self.path = Path(path)
+        self.index = index
+        self._file = self.path.open("rb")
+
+    def length(self, blob_id: int) -> int:
+        return self.index[blob_id][1]
+
+    def __getitem__(self, blob_id: int) -> bytes:
+        offset, length = self.index[blob_id]
+        data = os.pread(self._file.fileno(), length, offset)
+        if len(data) != length:
+            raise StorageError(f"{self.path} is truncated (blob {blob_id})")
+        return data
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class TileSegment:
+    """The on-disk footprint of one tile: its catalog entry plus the
+    blob source to read payload bytes from.  ``nbytes`` (the payload
+    blobs' total length) is what the residency budget charges."""
+
+    def __init__(self, meta: dict, source: _BlobSource):
+        self.meta = meta
+        self.source = source
+        blob_ids = [meta["rows"]]
+        for column_meta in meta["columns"]:
+            vector = column_meta["vector"]
+            blob_ids.append(vector["data"])
+            blob_ids.append(vector["nulls"])
+        self.nbytes = sum(source.length(blob_id) for blob_id in blob_ids)
+
+    def load(self, header: TileHeader, first_row: int) -> Tile:
+        """Fault the payload in (columns + JSONB heap) under *header*."""
+        return _restore_tile_payload(self.meta, header, self.source,
+                                     first_row)
 
 
 def _encode_rows(rows: List[bytes]) -> bytes:
@@ -118,7 +189,7 @@ def _column_meta(vector: ColumnVector, blobs: _BlobWriter) -> dict:
     }
 
 
-def _restore_column(meta: dict, blobs: List[bytes]) -> ColumnVector:
+def _restore_column(meta: dict, blobs) -> ColumnVector:
     column_type = ColumnType(meta["type"])
     length = meta["length"]
     if meta["layout"] == "object":
@@ -137,7 +208,7 @@ def _sketch_meta(sketch: HyperLogLog, blobs: _BlobWriter) -> dict:
             "registers": blobs.add(sketch.registers.tobytes())}
 
 
-def _restore_sketch(meta: dict, blobs: List[bytes]) -> HyperLogLog:
+def _restore_sketch(meta: dict, blobs) -> HyperLogLog:
     sketch = HyperLogLog(meta["precision"])
     sketch.registers = np.frombuffer(blobs[meta["registers"]],
                                      dtype=np.uint8).copy()
@@ -151,7 +222,7 @@ def _histogram_meta(histogram, blobs: _BlobWriter) -> Optional[dict]:
             "counts": blobs.add(histogram.counts.tobytes())}
 
 
-def _restore_histogram(meta: Optional[dict], blobs: List[bytes]):
+def _restore_histogram(meta: Optional[dict], blobs):
     if meta is None:
         return None
     from repro.stats.histogram import EquiDepthHistogram
@@ -172,7 +243,7 @@ def _column_stats_meta(stats: ColumnStatistics, blobs: _BlobWriter) -> dict:
     }
 
 
-def _restore_column_stats(meta: dict, blobs: List[bytes]) -> ColumnStatistics:
+def _restore_column_stats(meta: dict, blobs) -> ColumnStatistics:
     stats = ColumnStatistics()
     stats.sketch = _restore_sketch(meta["sketch"], blobs)
     stats.non_null_count = meta["non_null"]
@@ -187,7 +258,7 @@ def _bloom_meta(bloom: BloomFilter, blobs: _BlobWriter) -> dict:
             "num_bits": bloom.num_bits, "num_hashes": bloom.num_hashes}
 
 
-def _restore_bloom(meta: dict, blobs: List[bytes]) -> BloomFilter:
+def _restore_bloom(meta: dict, blobs) -> BloomFilter:
     bloom = BloomFilter()
     bloom.num_bits = meta["num_bits"]
     bloom.num_hashes = meta["num_hashes"]
@@ -195,7 +266,7 @@ def _restore_bloom(meta: dict, blobs: List[bytes]) -> BloomFilter:
     return bloom
 
 
-def _tile_meta(tile: Tile, blobs: _BlobWriter) -> dict:
+def _tile_payload_meta(tile: Tile, blobs: _BlobWriter) -> dict:
     header = tile.header
     columns = []
     for path, column in tile.columns.items():
@@ -226,7 +297,18 @@ def _tile_meta(tile: Tile, blobs: _BlobWriter) -> dict:
     }
 
 
-def _restore_tile(meta: dict, blobs: List[bytes]) -> Tile:
+def _tile_meta(tile, blobs: _BlobWriter) -> dict:
+    # *tile* is a TileHandle on every normal path; raw Tiles are still
+    # accepted so hand-assembled relations (tests, tools) serialize.
+    if isinstance(tile, TileHandle):
+        with tile.pinned() as payload:
+            return _tile_payload_meta(payload, blobs)
+    return _tile_payload_meta(tile, blobs)
+
+
+def _restore_tile_header(meta: dict, blobs) -> TileHeader:
+    """The eagerly-resident part of a tile: schema, blooms, zone maps —
+    everything planning and tile skipping consult."""
     header = TileHeader(meta["tile_number"], meta["row_count"],
                         max_array_elements=meta["max_array_elements"])
     header.key_counts = dict(meta["key_counts"])
@@ -236,20 +318,27 @@ def _restore_tile(meta: dict, blobs: List[bytes]) -> Tile:
     for path_text, stats_meta in meta["stats_columns"].items():
         header.statistics.columns[KeyPath.parse(path_text)] = \
             _restore_column_stats(stats_meta, blobs)
-    columns = {}
     for column_meta in meta["columns"]:
-        path = KeyPath.parse(column_meta["path"])
         header.add_column(ExtractedColumn(
-            path=path,
+            path=KeyPath.parse(column_meta["path"]),
             json_type=JsonType(column_meta["json_type"]),
             column_type=ColumnType(column_meta["column_type"]),
             has_type_conflicts=column_meta["conflicts"],
             nullable=column_meta["nullable"],
             is_datetime=column_meta["datetime"],
         ))
-        columns[path] = _restore_column(column_meta["vector"], blobs)
+    return header
+
+
+def _restore_tile_payload(meta: dict, header: TileHeader, blobs,
+                          first_row: int) -> Tile:
+    """The demand-loaded part: column vectors and the JSONB heap."""
+    columns = {}
+    for column_meta in meta["columns"]:
+        columns[KeyPath.parse(column_meta["path"])] = \
+            _restore_column(column_meta["vector"], blobs)
     rows = _decode_rows(blobs[meta["rows"]])
-    return Tile(header, columns, rows, meta["first_row"])
+    return Tile(header, columns, rows, first_row)
 
 
 def _table_stats_meta(stats: TableStatistics, blobs: _BlobWriter) -> dict:
@@ -270,7 +359,7 @@ def _table_stats_meta(stats: TableStatistics, blobs: _BlobWriter) -> dict:
     }
 
 
-def _restore_table_stats(meta: dict, blobs: List[bytes]) -> TableStatistics:
+def _restore_table_stats(meta: dict, blobs) -> TableStatistics:
     stats = TableStatistics()
     stats.row_count = meta["row_count"]
     for key, (count, tile) in meta["frequencies"].items():
@@ -299,7 +388,8 @@ def _config_meta(config: ExtractionConfig) -> dict:
     }
 
 
-def _relation_meta(relation: Relation, blobs: _BlobWriter) -> dict:
+def _relation_meta(relation: Relation, blobs: _BlobWriter,
+                   rebinds: Optional[list] = None) -> dict:
     meta = {
         "name": relation.name,
         "format": relation.format.value,
@@ -307,7 +397,7 @@ def _relation_meta(relation: Relation, blobs: _BlobWriter) -> dict:
         "statistics": _table_stats_meta(relation.statistics, blobs),
         "array_paths": [str(path) for path in relation.array_paths],
         "children": {
-            path_text: _relation_meta(child, blobs)
+            path_text: _relation_meta(child, blobs, rebinds)
             for path_text, child in relation.children.items()
         },
     }
@@ -315,7 +405,13 @@ def _relation_meta(relation: Relation, blobs: _BlobWriter) -> dict:
         meta["text_rows"] = blobs.add(_encode_rows(
             [row.encode("utf-8") for row in relation.text_rows]))
     else:
-        meta["tiles"] = [_tile_meta(tile, blobs) for tile in relation.tiles]
+        tiles_meta = []
+        for tile in relation.tiles:
+            tile_meta = _tile_meta(tile, blobs)
+            tiles_meta.append(tile_meta)
+            if rebinds is not None and isinstance(tile, TileHandle):
+                rebinds.append((tile, tile_meta))
+        meta["tiles"] = tiles_meta
         # pending (unsealed) inserts round-trip as documents instead of
         # being force-sealed into an undersized tile at save time
         buffered = relation.snapshot_insert_buffer()
@@ -326,87 +422,157 @@ def _relation_meta(relation: Relation, blobs: _BlobWriter) -> dict:
     return meta
 
 
-def _restore_relation(meta: dict, blobs: List[bytes]) -> Relation:
+def _restore_relation(meta: dict, source: _BlobSource,
+                      store: TileStore) -> Relation:
     config = ExtractionConfig(**meta["config"])
     relation = Relation(meta["name"], StorageFormat(meta["format"]), config)
-    relation.statistics = _restore_table_stats(meta["statistics"], blobs)
+    relation.statistics = _restore_table_stats(meta["statistics"], source)
     relation.array_paths = [KeyPath.parse(p) for p in meta["array_paths"]]
     for path_text, child_meta in meta["children"].items():
-        relation.children[path_text] = _restore_relation(child_meta, blobs)
+        relation.children[path_text] = _restore_relation(
+            child_meta, source, store)
     if "text_rows" in meta:
-        relation.text_rows = [row.decode("utf-8")
-                              for row in _decode_rows(blobs[meta["text_rows"]])]
+        relation.text_rows = [row.decode("utf-8") for row in
+                              _decode_rows(source[meta["text_rows"]])]
     else:
         relation.text_rows = None
-        relation.tiles = [_restore_tile(tile_meta, blobs)
-                          for tile_meta in meta["tiles"]]
+        for tile_meta in meta["tiles"]:
+            header = _restore_tile_header(tile_meta, source)
+            segment = TileSegment(tile_meta, source)
+            handle = TileHandle.stored(header, tile_meta["first_row"],
+                                       segment, store, relation.name)
+            handle.owner = relation
+            relation.tiles.append(handle)
         if "insert_buffer" in meta:
             relation._insert_buffer = [
                 json.loads(row.decode("utf-8"))
-                for row in _decode_rows(blobs[meta["insert_buffer"]])]
+                for row in _decode_rows(source[meta["insert_buffer"]])]
     return relation
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Make a just-renamed file's directory entry durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def save_relation(relation: Relation, path: Union[str, Path],
-                  extra: Optional[dict] = None) -> int:
+                  extra: Optional[dict] = None,
+                  rebind: bool = True) -> int:
     """Write the relation (and its Tiles-* children) to *path*;
     returns the number of bytes written.
 
-    The file is written to a temp sibling and atomically renamed into
-    place, so a crash mid-save never leaves a torn ``.jtile`` behind.
+    The file is written to a temp sibling, fsynced, atomically renamed
+    into place, and the directory entry fsynced, so a crash mid-save
+    never leaves a torn ``.jtile`` behind.  Tiles are pinned one at a
+    time while streaming, so saving never needs the whole relation
+    resident.  With *rebind* (the default) every tile handle is
+    re-pointed at its segment in the new snapshot afterwards and
+    becomes clean — i.e. evictable — which is how dirty (freshly
+    sealed or updated) tiles re-enter the paging pool.
+
     *extra* is an optional JSON-serializable dict stored alongside the
     catalog (read back with :func:`read_relation_extra`) — the server
     records its WAL position there so snapshot + position commit
     atomically.
     """
-    blobs = _BlobWriter()
-    catalog = _relation_meta(relation, blobs)
-    catalog["blob_sizes"] = [len(blob) for blob in blobs.blobs]
-    if extra is not None:
-        catalog["extra"] = extra
-    header = json.dumps(catalog, separators=(",", ":")).encode("utf-8")
     path = Path(path)
     temp = path.with_name(path.name + ".tmp")
+    rebinds: list = []
     with temp.open("wb") as handle:
         handle.write(MAGIC)
-        handle.write(struct.pack("<Q", len(header)))
-        handle.write(header)
-        for blob in blobs.blobs:
-            handle.write(blob)
+        blobs = _BlobWriter(handle)
+        catalog = _relation_meta(relation, blobs,
+                                 rebinds if rebind else None)
+        catalog["blob_index"] = blobs.index
+        if extra is not None:
+            catalog["extra"] = extra
+        footer = json.dumps(catalog, separators=(",", ":")).encode("utf-8")
+        handle.write(footer)
+        handle.write(struct.pack("<Q", len(footer)))
+        handle.write(MAGIC)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(temp, path)
+    _fsync_directory(path.parent)
+    if rebinds:
+        source = _BlobSource(path, blobs.index)
+        for tile_handle, tile_meta in rebinds:
+            tile_handle.rebind(TileSegment(tile_meta, source))
     return path.stat().st_size
 
 
-def _read_catalog(handle: BinaryIO, path: Path) -> dict:
-    magic = handle.read(len(MAGIC))
-    if magic != MAGIC:
-        raise StorageError(f"{path} is not a JSON-tiles relation file")
-    (header_len,) = struct.unpack("<Q", handle.read(8))
-    return json.loads(handle.read(header_len).decode("utf-8"))
-
-
-def load_relation(path: Union[str, Path]) -> Relation:
-    """Read a relation written by :func:`save_relation`."""
-    path = Path(path)
+def _open_catalog(path: Path) -> Tuple[dict, List[List[int]]]:
+    """Read the catalog of either format version; returns it together
+    with the ``[offset, length]`` blob index (computed from the running
+    sum of ``blob_sizes`` for v1 files)."""
+    size = path.stat().st_size
+    trailer_len = 8 + len(MAGIC)
     with path.open("rb") as handle:
-        catalog = _read_catalog(handle, path)
-        blobs: List[bytes] = []
-        for size in catalog["blob_sizes"]:
-            blob = handle.read(size)
-            if len(blob) != size:
-                raise StorageError(f"{path} is truncated")
-            blobs.append(blob)
-    return _restore_relation(catalog, blobs)
+        magic = handle.read(len(MAGIC))
+        try:
+            if magic == MAGIC:
+                if size < len(MAGIC) + trailer_len:
+                    raise StorageError(f"{path} is truncated")
+                handle.seek(size - trailer_len)
+                tail = handle.read(trailer_len)
+                (footer_len,) = struct.unpack("<Q", tail[:8])
+                if tail[8:] != MAGIC:
+                    raise StorageError(
+                        f"{path} is truncated (footer trailer missing)")
+                footer_start = size - trailer_len - footer_len
+                if footer_start < len(MAGIC):
+                    raise StorageError(f"{path} is truncated")
+                handle.seek(footer_start)
+                catalog = json.loads(
+                    handle.read(footer_len).decode("utf-8"))
+                return catalog, catalog["blob_index"]
+            if magic == MAGIC_V1:
+                (header_len,) = struct.unpack("<Q", handle.read(8))
+                raw = handle.read(header_len)
+                if len(raw) != header_len:
+                    raise StorageError(f"{path} is truncated")
+                catalog = json.loads(raw.decode("utf-8"))
+                offset = len(MAGIC_V1) + 8 + header_len
+                index = []
+                for blob_size in catalog["blob_sizes"]:
+                    index.append([offset, blob_size])
+                    offset += blob_size
+                if offset > size:
+                    raise StorageError(f"{path} is truncated")
+                return catalog, index
+        except (struct.error, ValueError, UnicodeDecodeError, KeyError) as exc:
+            raise StorageError(f"{path} has a corrupt catalog: {exc}") from exc
+    raise StorageError(f"{path} is not a JSON-tiles relation file")
+
+
+def load_relation(path: Union[str, Path],
+                  store: Optional[TileStore] = None) -> Relation:
+    """Open a relation written by :func:`save_relation` (either format
+    version).  Only headers and statistics are read eagerly; tile
+    payloads page in through *store* (default: the process-wide
+    :data:`~repro.storage.tilestore.GLOBAL_TILE_STORE`) on first use.
+    """
+    path = Path(path)
+    catalog, index = _open_catalog(path)
+    source = _BlobSource(path, index)
+    try:
+        return _restore_relation(
+            catalog, source, store if store is not None else GLOBAL_TILE_STORE)
+    except (KeyError, IndexError, ValueError, struct.error) as exc:
+        raise StorageError(f"{path} is corrupt: {exc}") from exc
 
 
 def read_relation_extra(path: Union[str, Path]) -> dict:
     """The ``extra`` dict stored with :func:`save_relation` (reads only
-    the catalog header, not the blob payloads)."""
-    path = Path(path)
-    with path.open("rb") as handle:
-        catalog = _read_catalog(handle, path)
+    the catalog, not the blob payloads)."""
+    catalog, _index = _open_catalog(Path(path))
     return catalog.get("extra", {})
 
 
@@ -428,6 +594,7 @@ def save_database(db, directory: Union[str, Path]) -> Dict[str, int]:
             continue
         seen.add(id(relation))
         written[name] = save_relation(relation, directory / f"{name}.jtile")
+    _fsync_directory(directory)
     return written
 
 

@@ -27,6 +27,7 @@ from repro.jsonb import encode as jsonb_encode
 from repro.stats.table_stats import TableStatistics
 from repro.storage.formats import StorageFormat
 from repro.storage.tile_cache import GLOBAL_TILE_CACHE
+from repro.storage.tilestore import GLOBAL_TILE_STORE, TileHandle
 from repro.tiles.extractor import ExtractionConfig, build_tile
 from repro.tiles.extractor import _materialize_value  # shared coercion
 from repro.tiles.tile import Tile
@@ -40,7 +41,9 @@ class Relation:
         self.name = name
         self.format = storage_format
         self.config = config or ExtractionConfig()
-        self.tiles: List[Tile] = []
+        #: tile *handles*: always-resident headers over demand-loaded
+        #: payloads, managed by the process-wide tile store
+        self.tiles: List[TileHandle] = []
         self.text_rows: Optional[List[str]] = [] \
             if storage_format == StorageFormat.JSON else None
         self.statistics = TableStatistics()
@@ -66,10 +69,11 @@ class Relation:
         #: :attr:`pending_inserts` and call :meth:`flush_inserts`
         self.auto_seal = True
         #: callbacks ``(relation, tile)`` fired after a tile is sealed
-        self._seal_hooks: List[Callable[["Relation", Tile], None]] = []
+        self._seal_hooks: List[Callable[["Relation", TileHandle], None]] = []
         #: callbacks ``(event, relation, payload)`` fired on storage
         #: reorganization events ("seal", "update", "recompute",
-        #: "reorganize"); the maintenance health tracker subscribes.
+        #: "reorganize", and "evict" when the tile store pages a tile
+        #: out); the maintenance health tracker subscribes.
         #: Hooks must never raise into the foreground path — exceptions
         #: are swallowed.
         self._event_hooks: List[Callable[[str, "Relation", object], None]] = []
@@ -88,6 +92,16 @@ class Relation:
             for name, value in counters.as_dict().items():
                 self.scan_totals[name] = self.scan_totals.get(name, 0) + value
             self.scan_totals["queries"] = self.scan_totals.get("queries", 0) + 1
+
+    def adopt_tile(self, tile: Tile) -> TileHandle:
+        """Wrap a freshly built in-memory tile into a dirty (never
+        evicted) handle owned by this relation.  Every path that adds a
+        tile — sealing, bulk load, recompute, reorganize — goes through
+        here; the handle becomes clean when a checkpoint re-binds it to
+        an on-disk segment."""
+        handle = TileHandle.wrap(tile, GLOBAL_TILE_STORE, self.name)
+        handle.owner = self
+        return handle
 
     # ------------------------------------------------------------------
     # shape
@@ -176,9 +190,10 @@ class Relation:
                     first_row = sum(tile.row_count for tile in self.tiles)
                 jsonb_rows = [jsonb_encode(document)
                               for document in documents]
-                tile = build_tile(documents, jsonb_rows, self.config,
-                                  tile_number, first_row,
-                                  mine=self.format.extracts_columns)
+                tile = self.adopt_tile(build_tile(
+                    documents, jsonb_rows, self.config,
+                    tile_number, first_row,
+                    mine=self.format.extracts_columns))
                 guard = append_guard() if callable(append_guard) \
                     else append_guard
                 if guard is not None:
@@ -237,7 +252,7 @@ class Relation:
     def __len__(self) -> int:
         return self.row_count
 
-    def tile_of_row(self, row_id: int) -> Tile:
+    def tile_of_row(self, row_id: int) -> TileHandle:
         for tile in self.tiles:
             if tile.first_row <= row_id < tile.first_row + tile.row_count:
                 return tile
@@ -250,8 +265,9 @@ class Relation:
         """Materialize the document stored at *row_id*."""
         if self.text_rows is not None:
             return json.loads(self.text_rows[row_id])
-        tile = self.tile_of_row(row_id)
-        return jsonb_decode(tile.jsonb_rows[row_id - tile.first_row])
+        handle = self.tile_of_row(row_id)
+        with handle.pinned() as tile:
+            return jsonb_decode(tile.jsonb_rows[row_id - handle.first_row])
 
     def documents(self) -> Iterator[object]:
         for row_id in range(self.row_count):
@@ -266,51 +282,57 @@ class Relation:
         if self.text_rows is not None:
             self.text_rows[row_id] = json.dumps(new_document)
             return
-        tile = self.tile_of_row(row_id)
-        local = row_id - tile.first_row
-        tile.jsonb_rows[local] = jsonb_encode(new_document)
-        # the only in-place tile mutation in the system: resolved
-        # fallback columns cached for this tile are now stale
-        GLOBAL_TILE_CACHE.invalidate_tile(tile.uid)
-        if not self.format.extracts_columns:
-            self._fire_event("update", tile)
-            return
+        handle = self.tile_of_row(row_id)
+        local = row_id - handle.first_row
+        with handle.pinned() as tile:
+            # the payload is about to diverge from its on-disk segment:
+            # a dirty handle is never evicted, so the patch can't be
+            # lost to a reload of stale bytes
+            handle.mark_dirty()
+            tile.jsonb_rows[local] = jsonb_encode(new_document)
+            # the only in-place tile mutation in the system: resolved
+            # fallback columns cached for this tile are now stale
+            GLOBAL_TILE_CACHE.invalidate_tile(handle.uid)
+            if not self.format.extracts_columns:
+                self._fire_event("update", handle)
+                return
 
-        overlapping = 0
-        for path, vector in tile.columns.items():
-            meta = tile.header.columns[path]
-            raw = path.lookup(new_document)
-            value = _materialize_value(raw, meta)
-            if value is None:
-                # absent key or type outlier: NULL marks "consult JSONB"
-                vector.null_mask[local] = True
-                meta.nullable = True
-                if raw is not None:
-                    meta.has_type_conflicts = True
-            else:
-                vector.null_mask[local] = False
-                vector.data[local] = value
-                overlapping += 1
-                # widen the tile's zone map / sketch; bounds may only
-                # grow (stale-wide bounds are safe for pruning)
-                tile.header.statistics.column(path).observe(value)
+            overlapping = 0
+            for path, vector in tile.columns.items():
+                meta = tile.header.columns[path]
+                raw = path.lookup(new_document)
+                value = _materialize_value(raw, meta)
+                if value is None:
+                    # absent key or type outlier: NULL marks "consult JSONB"
+                    vector.null_mask[local] = True
+                    meta.nullable = True
+                    if raw is not None:
+                        meta.has_type_conflicts = True
+                else:
+                    vector.null_mask[local] = False
+                    vector.data[local] = value
+                    overlapping += 1
+                    # widen the tile's zone map / sketch; bounds may only
+                    # grow (stale-wide bounds are safe for pruning)
+                    tile.header.statistics.column(path).observe(value)
 
-        # every access path of the new document must be visible to
-        # skipping, otherwise changed tiles could be skipped incorrectly
-        for path, _jtype in collect_key_paths(new_document,
-                                              self.config.max_array_elements):
-            if path not in tile.columns:
-                tile.header.record_unextracted(path)
+            # every access path of the new document must be visible to
+            # skipping, otherwise changed tiles could be skipped
+            # incorrectly
+            for path, _jtype in collect_key_paths(
+                    new_document, self.config.max_array_elements):
+                if path not in tile.columns:
+                    tile.header.record_unextracted(path)
 
-        self._fire_event("update", tile)
+        self._fire_event("update", handle)
         if overlapping == 0:
             # outlier document: no overlap with the extracted keys
-            count = self._outlier_counts.get(tile.header.tile_number, 0) + 1
-            self._outlier_counts[tile.header.tile_number] = count
-            if count > tile.row_count // 2:
-                self.recompute_tile(tile)
+            count = self._outlier_counts.get(handle.tile_number, 0) + 1
+            self._outlier_counts[handle.tile_number] = count
+            if count > handle.row_count // 2:
+                self.recompute_tile(handle)
 
-    def recompute_tile(self, tile: Tile, append_guard=None) -> None:
+    def recompute_tile(self, tile: TileHandle, append_guard=None) -> None:
         """Re-run extraction for one tile after heavy updates.
 
         *append_guard* (same contract as in :meth:`flush_inserts`) is
@@ -319,11 +341,18 @@ class Relation:
         Relation statistics are rebuilt from scratch — ``absorb_tile``
         accumulates, so re-absorbing the rebuilt tile into the old
         aggregate would double-count its rows.
+
+        The stale tile is pinned only while its JSONB heap is read; the
+        expensive mining/extraction runs against plain byte strings, so
+        the residency budget sees at most one extra resident tile.
         """
-        documents = [jsonb_decode(row) for row in tile.jsonb_rows]
-        rebuilt = build_tile(documents, tile.jsonb_rows, self.config,
-                             tile.header.tile_number, tile.first_row,
-                             mine=self.format.extracts_columns)
+        with tile.pinned() as payload:
+            jsonb_rows = list(payload.jsonb_rows)
+        documents = [jsonb_decode(row) for row in jsonb_rows]
+        rebuilt = self.adopt_tile(build_tile(
+            documents, jsonb_rows, self.config,
+            tile.tile_number, tile.first_row,
+            mine=self.format.extracts_columns))
         guard = append_guard() if callable(append_guard) else append_guard
         with (guard if guard is not None else nullcontext()):
             with self._buffer_lock:
@@ -333,10 +362,12 @@ class Relation:
                     return  # replaced concurrently; nothing left to do
                 self.tiles[index] = rebuilt
                 self._rebuild_statistics_locked()
-        self._outlier_counts.pop(tile.header.tile_number, None)
+        self._outlier_counts.pop(tile.tile_number, None)
         # the rebuilt tile has a fresh uid; entries of the replaced one
-        # can never be served again, so reclaim their memory eagerly
+        # can never be served again, so reclaim their memory (and the
+        # replaced handle's residency charge) eagerly
         GLOBAL_TILE_CACHE.invalidate_tile(tile.uid)
+        GLOBAL_TILE_STORE.discard(tile)
         # a recomputed tile changes its partition's content: the
         # maintenance health tracker resets the partition's record so
         # it becomes re-eligible for Section 3.2 reordering
@@ -361,7 +392,7 @@ class Relation:
             return 0
         return math.ceil(len(self.tiles) / self.config.partition_size)
 
-    def partition_tiles(self, index: int) -> List[Tile]:
+    def partition_tiles(self, index: int) -> List[TileHandle]:
         """Snapshot of the sealed tiles in partition *index*."""
         size = self.config.partition_size
         with self._buffer_lock:
@@ -401,8 +432,14 @@ class Relation:
         if len(old_tiles) < 2:
             return False
         occupancy = [tile.row_count for tile in old_tiles]
-        jsonb_rows = [row for tile in old_tiles
-                      for row in tile.jsonb_rows]
+        # pin one tile at a time while draining its JSONB heap — the
+        # byte strings stay alive by reference, so the reorder itself
+        # runs unpinned and the budget never needs the whole partition
+        # resident at once
+        jsonb_rows: List[bytes] = []
+        for handle in old_tiles:
+            with handle.pinned() as payload:
+                jsonb_rows.extend(payload.jsonb_rows)
         documents = [jsonb_decode(row) for row in jsonb_rows]
         dictionary, transactions = encode_documents(
             documents, self.config.max_array_elements)
@@ -413,16 +450,16 @@ class Relation:
         documents = apply_order(documents, order)
         jsonb_rows = apply_order(jsonb_rows, order)
         transactions = apply_order(transactions, order)
-        rebuilt: List[Tile] = []
+        rebuilt: List[TileHandle] = []
         offset = 0
         for old, count in zip(old_tiles, occupancy):
             encoded = subset_dictionary(
                 dictionary, transactions[offset : offset + count])
-            rebuilt.append(build_tile(
+            rebuilt.append(self.adopt_tile(build_tile(
                 documents[offset : offset + count],
                 jsonb_rows[offset : offset + count],
-                self.config, old.header.tile_number, old.first_row,
-                encoded=encoded))
+                self.config, old.tile_number, old.first_row,
+                encoded=encoded)))
             offset += count
         guard = append_guard() if callable(append_guard) else append_guard
         with (guard if guard is not None else nullcontext()):
@@ -441,8 +478,9 @@ class Relation:
                 # rebuild here would grind O(tiles) histogram merges
                 # inside the write-locked splice on every cycle.
         for old in old_tiles:
-            self._outlier_counts.pop(old.header.tile_number, None)
+            self._outlier_counts.pop(old.tile_number, None)
             GLOBAL_TILE_CACHE.invalidate_tile(old.uid)
+            GLOBAL_TILE_STORE.discard(old)
         self._fire_event("reorganize", index)
         return True
 
@@ -462,25 +500,57 @@ class Relation:
         state where every document still sits in the insert buffer)
         reports well-defined zeros for every representation — pending
         documents have no storage representation yet.
+
+        ``resident_bytes`` / ``disk_bytes`` separate what the tile
+        store currently holds in memory from what lives in the
+        relation's ``.jtile`` segments — the logical representation
+        sizes above deliberately do not distinguish the two.  They are
+        sampled *before* the logical accounting below, because that
+        accounting pins each tile (one at a time) and would otherwise
+        make everything look resident.
         """
         from repro.storage.compression import compress
 
         report = {"json": 0, "jsonb": 0, "tiles": 0, "tiles_standalone": 0,
-                  "lz4_tiles": 0}
+                  "lz4_tiles": 0, "resident_bytes": 0, "disk_bytes": 0}
         if self.text_rows is not None:
             report["json"] = sum(len(row.encode("utf-8")) for row in self.text_rows)
             return report
         if not self.tiles and not self.children:
             return report
-        for tile in self.tiles:
-            report["jsonb"] += tile.jsonb_size_bytes()
-            report["tiles"] += tile.size_bytes(shared_strings=True)
-            report["tiles_standalone"] += tile.size_bytes()
-            for column in tile.columns.values():
-                report["lz4_tiles"] += len(compress(
-                    column.raw_bytes(shared_strings=True)))
+        report["resident_bytes"] = sum(
+            handle.nbytes for handle in self.tiles if handle.resident)
+        report["disk_bytes"] = sum(
+            handle.disk_bytes for handle in self.tiles)
+        for handle in self.tiles:
+            with handle.pinned() as tile:
+                report["jsonb"] += tile.jsonb_size_bytes()
+                report["tiles"] += tile.size_bytes(shared_strings=True)
+                report["tiles_standalone"] += tile.size_bytes()
+                for column in tile.columns.values():
+                    report["lz4_tiles"] += len(compress(
+                        column.raw_bytes(shared_strings=True)))
         for child in self.children.values():
             child_report = child.size_report()
+            for key in report:
+                report[key] += child_report[key]
+        return report
+
+    def residency_report(self) -> Dict[str, int]:
+        """Cheap (header-only, never faults a payload) residency view:
+        resident vs on-disk bytes and tile counts, children included."""
+        report = {"resident_bytes": 0, "disk_bytes": 0,
+                  "resident_tiles": 0, "dirty_tiles": 0, "tiles": 0}
+        for handle in self.tiles:
+            report["tiles"] += 1
+            report["disk_bytes"] += handle.disk_bytes
+            if handle.resident:
+                report["resident_tiles"] += 1
+                report["resident_bytes"] += handle.nbytes
+            if handle.dirty:
+                report["dirty_tiles"] += 1
+        for child in self.children.values():
+            child_report = child.residency_report()
             for key in report:
                 report[key] += child_report[key]
         return report
@@ -497,16 +567,19 @@ class Relation:
         """
         if not self.tiles:
             return 0.0
-        extracted = sum(len(tile.columns) for tile in self.tiles)
+        # header.columns mirrors the payload's column dict key-for-key,
+        # so this never needs to fault a paged-out tile in
+        extracted = sum(len(tile.header.columns) for tile in self.tiles)
         seen = sum(len(tile.header.key_counts) for tile in self.tiles)
         return extracted / max(1, seen)
 
-    def tile_extraction_fraction(self, tile: Tile) -> float:
+    def tile_extraction_fraction(self, tile) -> float:
         """Per-tile extraction metric the health tracker aggregates:
-        extracted columns over frequent key paths seen in the tile."""
+        extracted columns over frequent key paths seen in the tile.
+        Header-only, so polling it never faults a paged-out tile in."""
         if not tile.header.key_counts:
-            return 1.0 if not tile.columns else 0.0
-        return len(tile.columns) / len(tile.header.key_counts)
+            return 1.0 if not tile.header.columns else 0.0
+        return len(tile.header.columns) / len(tile.header.key_counts)
 
     def describe(self) -> str:
         lines = [f"relation {self.name}: {self.row_count} rows, "

@@ -66,6 +66,16 @@ class ResolvedTileCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        #: called (without the cache lock held) after inserts grew the
+        #: cache — the tile store hooks in here so cached columns count
+        #: against the same process-wide memory budget as raw tile bytes
+        self._overseer = None
+
+    def attach_overseer(self, overseer) -> None:
+        """Register the shared-budget callback (the tile store's
+        ``enforce``).  Invoked after ``store``/``store_many`` outside
+        the cache lock, so the overseer may call :meth:`shrink_to`."""
+        self._overseer = overseer
 
     # ------------------------------------------------------------------
 
@@ -108,6 +118,22 @@ class ResolvedTileCache:
                 _, (_, evicted_size) = self._entries.popitem(last=False)
                 self._bytes -= evicted_size
                 self.evictions += 1
+        if self._overseer is not None:
+            self._overseer()
+
+    def shrink_to(self, target_bytes: int) -> int:
+        """Evict LRU entries until at most *target_bytes* remain
+        resident; the capacity itself is untouched (this is transient
+        budget pressure, not a reconfiguration).  Returns the number
+        of entries evicted."""
+        evicted = 0
+        with self._lock:
+            while self._bytes > max(0, target_bytes) and self._entries:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self.evictions += 1
+                evicted += 1
+        return evicted
 
     # ------------------------------------------------------------------
     # invalidation

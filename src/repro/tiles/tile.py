@@ -21,8 +21,18 @@ from repro.tiles.header import TileHeader
 
 #: process-unique tile identities; sealing, recomputation and
 #: checkpoint reload all build new Tile objects, so a uid never
-#: refers to stale contents — the resolved-tile cache keys on it
+#: refers to stale contents — the resolved-tile cache keys on it.
+#: Paged tiles are the one exception: their TileHandle allocates the
+#: uid once and re-stamps it onto every reload, because an evicted and
+#: re-read tile is bit-identical to the one it replaces (in-place
+#: mutation marks the handle dirty, and dirty tiles are never evicted).
 _uid_counter = itertools.count(1)
+
+
+def new_tile_uid() -> int:
+    """Allocate a fresh process-unique tile identity (used by
+    :class:`repro.storage.tilestore.TileHandle` for paged tiles)."""
+    return next(_uid_counter)
 
 
 class Tile:

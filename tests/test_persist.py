@@ -147,6 +147,105 @@ class TestRelationRoundTrip:
             load_relation(path)
 
 
+class TestFormatV1Compatibility:
+    """The committed pre-refactor fixture must load through the new
+    lazy reader: ``format_v1.jtile`` was written by the v1
+    (leading-catalog, ``blob_sizes``) serializer before the footer
+    index existed."""
+
+    FIXTURE_QUERY = ("select count(*) as n, "
+                     "sum(o.data->>'score'::float) as s from old o "
+                     "where o.data->'user'->>'id'::int >= 3")
+
+    @pytest.fixture
+    def fixture_paths(self):
+        import json
+        from pathlib import Path
+
+        directory = Path(__file__).parent / "fixtures"
+        expected = json.loads(
+            (directory / "format_v1_expected.json").read_text())
+        return directory / "format_v1.jtile", expected
+
+    def test_v1_file_loads_with_expected_shape(self, fixture_paths):
+        path, expected = fixture_paths
+        relation = load_relation(path)
+        assert relation.row_count == expected["row_count"]
+        assert relation.pending_inserts == expected["pending"]
+        assert len(relation.tiles) == expected["tiles"]
+
+    def test_v1_file_loads_lazily(self, fixture_paths):
+        path, _expected = fixture_paths
+        relation = load_relation(path)
+        # v1 blobs are addressable from their cumulative sizes: no
+        # tile payload is faulted in by the load itself
+        assert not any(handle.resident for handle in relation.tiles)
+        assert all(handle.disk_bytes > 0 for handle in relation.tiles)
+
+    def test_v1_query_results_match(self, fixture_paths):
+        path, expected = fixture_paths
+        db = Database(StorageFormat.TILES, CONFIG)
+        db.register("old", load_relation(path))
+        rows = [list(row) for row in db.sql(self.FIXTURE_QUERY).rows]
+        assert rows == expected["query"]
+
+    def test_v1_rewrites_as_v2(self, tmp_path, fixture_paths):
+        path, expected = fixture_paths
+        relation = load_relation(path)
+        new_path = tmp_path / "upgraded.jtile"
+        save_relation(relation, new_path)
+        assert new_path.read_bytes()[:5] == b"JTIL2"
+        db = Database(StorageFormat.TILES, CONFIG)
+        db.register("old", load_relation(new_path))
+        rows = [list(row) for row in db.sql(self.FIXTURE_QUERY).rows]
+        assert rows == expected["query"]
+
+
+class TestTornFileSafety:
+    def test_failed_save_leaves_previous_snapshot_intact(
+            self, tmp_path, monkeypatch):
+        from repro.storage import persist
+
+        db = Database(StorageFormat.TILES, CONFIG)
+        relation = db.load_table("t", tweets(64))
+        path = tmp_path / "t.jtile"
+        save_relation(relation, path)
+        good = path.read_bytes()
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(persist, "_relation_meta", explode)
+        bigger = db.load_table("t2", tweets(96))
+        with pytest.raises(RuntimeError):
+            save_relation(bigger, path)
+        # the crash hit the temp sibling; the published file is whole
+        assert path.read_bytes() == good
+        assert load_relation(path).row_count == 64
+
+    def test_save_replaces_atomically(self, tmp_path):
+        db = Database(StorageFormat.TILES, CONFIG)
+        path = tmp_path / "t.jtile"
+        save_relation(db.load_table("a", tweets(32)), path)
+        save_relation(db.load_table("b", tweets(64)), path)
+        assert load_relation(path).row_count == 64
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_missing_trailer_rejected(self, tmp_path):
+        db = Database(StorageFormat.TILES, CONFIG)
+        relation = db.load_table("t", tweets(50))
+        path = tmp_path / "t.jtile"
+        save_relation(relation, path)
+        data = path.read_bytes()
+        # flip the trailer magic: the file length is right but the
+        # completeness proof is gone
+        path.write_bytes(data[:-5] + b"XXXXX")
+        with pytest.raises(StorageError):
+            load_relation(path)
+
+
 class TestDatabaseRoundTrip:
     def test_queries_identical_after_reopen(self, tmp_path):
         db = Database(StorageFormat.TILES, CONFIG)
