@@ -15,6 +15,13 @@ Examples::
 
     # run the durable query/ingest server (see repro.server)
     python -m repro serve --data-dir ./data --port 7617
+
+    # horizontal sharding (see repro.cluster): shards, a replica and
+    # the coordinator clients actually talk to
+    python -m repro serve-shard --data-dir ./shard0 --port 7701
+    python -m repro serve-replica --data-dir ./replica0 \
+        --primary 127.0.0.1:7701 --port 7711
+    python -m repro serve-coordinator --topology cluster.json --port 7618
 """
 
 from __future__ import annotations
@@ -178,10 +185,13 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def serve_main(argv: List[str], out) -> int:
+def serve_main(argv: List[str], out, role: str = "server") -> int:
     from repro.server import run_server
 
-    args = build_serve_parser().parse_args(argv)
+    parser = build_serve_parser()
+    if role == "shard":
+        parser.prog = "repro serve-shard"
+    args = parser.parse_args(argv)
     config = ExtractionConfig(tile_size=args.tile_size,
                               partition_size=args.partition_size,
                               threshold=args.threshold)
@@ -205,8 +215,70 @@ def serve_main(argv: List[str], out) -> int:
             checkpoint_interval=args.checkpoint_interval or None,
             maintenance=args.maintenance,
             maintenance_config=maintenance_config,
+            role=role,
         )
     except OSError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    return 0
+
+
+def serve_replica_main(argv: List[str], out) -> int:
+    from repro.cluster import run_replica
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve-replica",
+        description="serve a read replica that follows one primary "
+                    "shard over WAL shipping (see repro.cluster)")
+    parser.add_argument("--data-dir", required=True, metavar="DIR",
+                        help="the replica's own database directory")
+    parser.add_argument("--primary", required=True, metavar="HOST:PORT",
+                        help="address of the primary shard to follow")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7627)
+    parser.add_argument("--poll-interval", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="seconds between replication polls")
+    args = parser.parse_args(argv)
+    try:
+        primary_host, primary_port = args.primary.rsplit(":", 1)
+        run_replica(args.data_dir, primary_host, int(primary_port),
+                    args.host, args.port,
+                    poll_interval=args.poll_interval)
+    except ValueError:
+        print(f"error: --primary must be HOST:PORT, got "
+              f"{args.primary!r}", file=out)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    return 0
+
+
+def serve_coordinator_main(argv: List[str], out) -> int:
+    from repro.cluster import TopologyError, run_coordinator
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve-coordinator",
+        description="serve a cluster coordinator routing the JSON-lines "
+                    "protocol over a shard fleet (see repro.cluster)")
+    parser.add_argument("--topology", required=True, metavar="FILE",
+                        help="JSON topology file listing the shards "
+                             "(and their replicas)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7618)
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="per-request timeout talking to backends")
+    parser.add_argument("--max-inflight-queries", type=int, default=32,
+                        help="admission-control bound on concurrent "
+                             "queries (excess get code 'overloaded')")
+    args = parser.parse_args(argv)
+    try:
+        run_coordinator(args.topology, args.host, args.port,
+                        timeout=args.timeout,
+                        max_inflight_queries=args.max_inflight_queries)
+    except (TopologyError, OSError, ReproError) as exc:
         print(f"error: {exc}", file=out)
         return 1
     return 0
@@ -218,6 +290,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:], out)
+    if argv and argv[0] == "serve-shard":
+        return serve_main(argv[1:], out, role="shard")
+    if argv and argv[0] == "serve-replica":
+        return serve_replica_main(argv[1:], out)
+    if argv and argv[0] == "serve-coordinator":
+        return serve_coordinator_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     storage_format = _FORMATS[args.format]
     config = ExtractionConfig(tile_size=args.tile_size,

@@ -1,0 +1,47 @@
+"""Horizontal sharding: coordinator, shard fleet and WAL-shipped read
+replicas (DESIGN.md §7).
+
+* :mod:`repro.cluster.topology` — the static cluster description.
+* :mod:`repro.cluster.coordinator` — the scatter/gather front end;
+  speaks the ordinary JSON-lines protocol, so any
+  :class:`~repro.server.client.ServerClient` pointed at it is a
+  cluster client.
+* :mod:`repro.cluster.replica` — a read-only server following one
+  primary over ``wal_fetch``.
+
+A shard is just :class:`~repro.server.server.JsonTilesServer` with
+``role="shard"`` — the cluster adds no shard-side code beyond the
+``partial_query`` / ``fetch_docs`` / ``wal_fetch`` protocol commands
+every server carries.
+"""
+
+from repro.cluster.coordinator import (
+    BackendError,
+    BackendLink,
+    ClusterCoordinator,
+    run_coordinator,
+)
+from repro.cluster.replica import ReplicaServer, run_replica
+from repro.cluster.topology import (
+    ClusterTopology,
+    Endpoint,
+    ShardSpec,
+    TopologyError,
+    load_topology,
+    shard_rows,
+)
+
+__all__ = [
+    "BackendError",
+    "BackendLink",
+    "ClusterCoordinator",
+    "ClusterTopology",
+    "Endpoint",
+    "ReplicaServer",
+    "ShardSpec",
+    "TopologyError",
+    "load_topology",
+    "run_coordinator",
+    "run_replica",
+    "shard_rows",
+]

@@ -1,0 +1,233 @@
+"""WAL-shipped read replicas (DESIGN.md §7).
+
+A replica is an ordinary :class:`~repro.server.server.JsonTilesServer`
+opened ``read_only`` plus a daemon thread that *pulls* from its
+primary over the normal protocol:
+
+* ``stats`` discovers the primary's tables (name, format, extraction
+  config) and mirrors them through ``register_table``;
+* per table, ``wal_fetch(from_total=<own WAL total>)`` streams the
+  primary's WAL records from where the replica left off.  The replica
+  applies them through its own ingest path (``apply_replicated``: own
+  WAL, own insert buffer, own background sealing), so its on-disk
+  layout is produced by exactly the same row sequence as the primary's
+  — queries against a caught-up replica are bit-identical to the
+  primary.
+
+The resume offset needs no separate bookkeeping file: the replica has
+appended *exactly* the primary records it applied to its own WAL, and
+``total_records()`` is cumulative across checkpoints and truncation
+(the JWAL2 epoch header), so the replica's own WAL total *is* the
+primary offset to fetch from.  If the primary has pruned that offset
+past its archive window, ``wal_fetch`` answers ``resync: true`` and
+the replica re-pages the missing rows with ``fetch_docs`` (row index
+equals cumulative record index on the primary — the WAL holds one
+record per document).
+
+Lag accounting: the replica reports per-table ``applied`` counts via
+the server's ``replica_status`` hook.  The *coordinator* computes the
+lag against its own routed-row counts; the replica's view of the
+primary total is informational only (it goes stale the moment polling
+pauses).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import ReproError
+from repro.server.client import ServerClient, ServerError
+from repro.server.server import JsonTilesServer
+
+
+class ReplicaServer:
+    """A read-only server that follows one primary."""
+
+    def __init__(self, data_dir: Union[str, Path],
+                 primary_host: str, primary_port: int,
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 poll_interval: float = 0.25,
+                 fetch_limit: int = 4096,
+                 **server_kwargs):
+        server_kwargs.setdefault("maintenance", False)
+        self.server = JsonTilesServer(data_dir, host, port,
+                                      read_only=True, role="replica",
+                                      **server_kwargs)
+        self.server.replication_status = self._status
+        self.primary_host = primary_host
+        self.primary_port = primary_port
+        self.poll_interval = poll_interval
+        self.fetch_limit = fetch_limit
+        #: per-table replication progress, guarded by ``_state_lock``
+        self._tables: Dict[str, dict] = {}
+        self._state_lock = threading.Lock()
+        self._paused = threading.Event()
+        self._stop = threading.Event()
+        self._poll_thread: Optional[threading.Thread] = None
+        self._last_poll: Optional[float] = None
+        self._last_error: Optional[str] = None
+        self._resyncs = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle (thread embedding mirrors JsonTilesServer)
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start_in_thread(self) -> "ReplicaServer":
+        self.server.start_in_thread()
+        self._poll_thread = threading.Thread(
+            target=self._poll_loop, daemon=True, name="repro-replication")
+        self._poll_thread.start()
+        return self
+
+    def stop_in_thread(self, checkpoint: bool = True,
+                       timeout: float = 30.0) -> None:
+        self._stop.set()
+        if self._poll_thread is not None:
+            self._poll_thread.join(timeout=timeout)
+            self._poll_thread = None
+        self.server.stop_in_thread(checkpoint=checkpoint, timeout=timeout)
+
+    # -- test/operations hooks -----------------------------------------
+
+    def pause(self) -> None:
+        """Stop applying new records (the replica keeps serving reads
+        at its current position — how the staleness-fallback tests
+        freeze a replica in the past)."""
+        self._paused.set()
+
+    def resume(self) -> None:
+        self._paused.clear()
+
+    def poll_once(self, client: Optional[ServerClient] = None) -> int:
+        """One replication round: mirror the catalog, then ship every
+        table forward.  Returns the number of records applied."""
+        own = client is None
+        if own:
+            client = ServerClient(self.primary_host, self.primary_port,
+                                  timeout=30.0, retries=0)
+        try:
+            stats = client.stats()
+            applied = 0
+            for name, table in sorted(stats.get("tables", {}).items()):
+                if "__" in name:
+                    continue  # child tables are derived, not replicated
+                applied += self._ship_table(client, name, table)
+            with self._state_lock:
+                self._last_poll = time.time()
+                self._last_error = None
+            return applied
+        finally:
+            if own:
+                client.close()
+
+    # ------------------------------------------------------------------
+
+    def _poll_loop(self) -> None:
+        client: Optional[ServerClient] = None
+        while not self._stop.wait(self.poll_interval):
+            if self._paused.is_set():
+                continue
+            try:
+                if client is None:
+                    client = ServerClient(self.primary_host,
+                                          self.primary_port,
+                                          timeout=30.0, retries=0)
+                    client.hello(role="replica")
+                self.poll_once(client)
+            except (ServerError, ReproError, OSError) as exc:
+                with self._state_lock:
+                    self._last_error = str(exc)
+                if client is not None:
+                    client.close()
+                    client = None
+        if client is not None:
+            client.close()
+
+    def _ship_table(self, client: ServerClient, name: str,
+                    primary_table: dict) -> int:
+        server = self.server
+        relation = server._base.get(name)
+        if relation is None:
+            relation = server.register_table(
+                name, primary_table["format"],
+                primary_table.get("config") or {})
+        # resume from our own cumulative WAL total: we have appended
+        # exactly the primary records we applied
+        applied = server.wals.for_table(name).total_records()
+        primary_total = primary_table["rows"] + primary_table["pending"]
+        shipped = 0
+        while applied < primary_total and not self._stop.is_set() \
+                and not self._paused.is_set():
+            page = client.wal_fetch(name, from_total=applied,
+                                    limit=self.fetch_limit)
+            if page.get("resync"):
+                # the primary pruned our offset past its archive
+                # window — fall back to paging documents; on the
+                # primary, row index == cumulative WAL record index
+                with self._state_lock:
+                    self._resyncs += 1
+                page = client.fetch_docs(name, start=applied,
+                                         limit=self.fetch_limit)
+            documents = page["docs"]
+            if not documents:
+                break
+            server.apply_replicated(name, documents)
+            applied += len(documents)
+            shipped += len(documents)
+        with self._state_lock:
+            self._tables[name] = {
+                "applied": applied,
+                "primary_total": max(primary_total, applied),
+            }
+        return shipped
+
+    def _status(self) -> dict:
+        """The server's ``replica_status`` payload."""
+        with self._state_lock:
+            tables = {
+                name: {**entry,
+                       "lag": max(0, entry["primary_total"]
+                                  - entry["applied"])}
+                for name, entry in self._tables.items()
+            }
+            return {
+                "primary": f"{self.primary_host}:{self.primary_port}",
+                "paused": self._paused.is_set(),
+                "tables": tables,
+                "last_poll": self._last_poll,
+                "last_error": self._last_error,
+                "resyncs": self._resyncs,
+            }
+
+
+def run_replica(data_dir: Union[str, Path], primary_host: str,
+                primary_port: int, host: str = "127.0.0.1",
+                port: int = 7627, **kwargs) -> None:
+    """Blocking entry point for ``python -m repro serve-replica``."""
+    replica = ReplicaServer(data_dir, primary_host, primary_port,
+                            host, port, **kwargs)
+    replica.start_in_thread()
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, lambda *_: stop.set())
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    print(f"repro replica listening on {replica.host}:{replica.port} "
+          f"(primary: {primary_host}:{primary_port})", flush=True)
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    replica.stop_in_thread()

@@ -165,3 +165,20 @@ def map_ordered(fn: Callable[..., T], items: Iterable,
     """Eager ordered map over the shared pool (small fan-outs)."""
     thunks = [(lambda item=item: fn(item)) for item in items]
     return list(run_ordered(thunks, workers))
+
+
+def block_ranges(total: int, block: int) -> Iterator[tuple]:
+    """Aligned ``[start, stop)`` ranges of size *block* covering
+    ``range(total)`` (the last range may be short).
+
+    This is the unit the cluster's process-external partial merge is
+    defined over (``repro.engine.partial``): slicing a shard's local
+    rows at multiples of the tile size — independent of where the
+    shard's actual tile boundaries drifted to — reproduces the batch
+    boundaries a canonical single-node load would have used, which is
+    what makes cross-process partial-aggregate merges bit-identical.
+    """
+    if block <= 0:
+        raise ValueError(f"block size must be positive, got {block}")
+    for start in range(0, total, block):
+        yield start, min(start + block, total)

@@ -1,0 +1,587 @@
+"""Process-external partial plans for the cluster (DESIGN.md §7).
+
+The morsel engine already proves that folding per-batch partial
+aggregate states *in batch order* replays the serial engine's exact
+float-operation sequence (``operators.py``).  This module extends that
+proof across processes: a shard computes one JSON-serializable partial
+state per *(global block, chunk)* and the coordinator folds the states
+from all shards in ascending ``(block, chunk)`` order — the same
+per-batch partials a single node folding the whole data set would have
+produced, in the same order, so merged results are bit-identical.
+
+Canonical layout contract.  The coordinator routes inserts to shards
+in round-robin *blocks* of ``tile_size`` rows, so global rows
+``[k*B, (k+1)*B)`` live on shard ``k % S`` as its local block
+``k // S`` (``B`` = tile size, ``S`` = shard count).  A canonical
+single-node load seals one tile per block and scans it in
+``batch_rows``-sized batches; the shard reproduces those batch
+boundaries by slicing its *local row space* at multiples of ``B`` and
+then at multiples of ``batch_rows`` — deliberately ignoring where its
+own tile boundaries drifted to under mid-stream flushes.  Slices are
+resolved with hand-built :class:`~repro.engine.morsels.Morsel` ranges,
+which may span tile boundaries; per-sub-range predicate filtering then
+concatenation equals filtering the concatenation, so the surviving
+rows and their order match the canonical scan.
+
+Execution modes (decided identically on coordinator and shard from the
+bound block — classification is data-independent):
+
+``scalar``
+    Global aggregation, no GROUP BY.  Chunk states are the engine's
+    ``_scalar_update`` partials; merge is ``_merge_scalar``.
+``single_key``
+    One group key with vectorizable aggregates.  Chunk states are
+    ``_SingleKeyState`` snapshots; merge preserves first-appearance
+    group order.
+``generic``
+    Composite/string keys, restricted to exactly-mergeable aggregates
+    (count/count_star/count_distinct/min/max, and sum/avg over INT64
+    inputs, whose partial sums are exact integers).  Float sums under
+    composite keys accumulate per *row*, not per batch, so no partial
+    is bit-exact — those fall back to ``gather``.
+``rows``
+    Non-aggregated SELECT.  Shards ship projected rows tagged with
+    global row ids; the coordinator re-merges ORDER BY/LIMIT.
+``gather``
+    Anything else (joins, subqueries, UNION, exotic output types).
+    The coordinator rebuilds the referenced tables locally from the
+    shards' documents in global row order and runs the query on the
+    rebuilt tables — always correct, linear in table size.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from functools import partial as _bind
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import ColumnType
+from repro.engine import expressions as ex
+from repro.engine.batch import Batch, concat_batches
+from repro.engine.morsels import Morsel, block_ranges, run_ordered
+from repro.engine.operators import (
+    BatchSource,
+    FilterOp,
+    HashAggregateOp,
+    LimitOp,
+    ProjectOp,
+    SortOp,
+    TopKOp,
+    _make_sort_key,
+    _new_state,
+    _scalar,
+    _SingleKeyState,
+    _update_state,
+)
+from repro.engine.optimizer import Planner, PlannedScan
+from repro.engine.plan import QueryBlock, QueryOptions, ScanSource
+from repro.engine.scan import ROWID_PATH, ScanCounters, TableScan
+from repro.errors import ExecutionError
+from repro.storage.column import ColumnVector
+from repro.storage.formats import StorageFormat
+
+GATHER = "gather"
+
+#: aggregates whose partial states merge exactly regardless of value
+#: type (sets, counts and extremes carry no float rounding)
+_EXACT_FUNCS = {"count", "count_star", "count_distinct", "min", "max"}
+
+#: column types the rows mode can ship losslessly as JSON
+_WIRE_TYPES = (ColumnType.INT64, ColumnType.FLOAT64, ColumnType.STRING,
+               ColumnType.BOOL)
+
+
+# ----------------------------------------------------------------------
+# classification
+
+
+def classify_block(block: QueryBlock) -> str:
+    """Partial-execution mode for a bound block.
+
+    Purely shape-driven (never looks at data), so the coordinator and
+    every shard — each binding the same SQL against their own catalog —
+    arrive at the same verdict independently.
+    """
+    if (len(block.sources) != 1
+            or not isinstance(block.sources[0], ScanSource)
+            or block.left_joins
+            or block.subquery_filters
+            or block.union_blocks):
+        return GATHER
+    if _has_scalar_subquery(block):
+        return GATHER
+    if block.is_aggregated:
+        if not block.group_keys:
+            return "scalar"
+        probe = HashAggregateOp(BatchSource([]), block.group_keys,
+                                block.aggregates)
+        if len(block.group_keys) == 1 and probe._vectorizable_aggs():
+            return "single_key"
+        for spec in block.aggregates:
+            if spec.func in _EXACT_FUNCS:
+                continue
+            if (spec.func in ("sum", "avg") and spec.expr is not None
+                    and spec.expr.result_type == ColumnType.INT64):
+                continue
+            return GATHER
+        return "generic"
+    for _name, expr in block.select:
+        if expr.result_type not in _WIRE_TYPES:
+            return GATHER
+    names = set(block.output_names())
+    for key in block.order_by:
+        if key.name not in names:
+            return GATHER
+    return "rows"
+
+
+def _has_scalar_subquery(block: QueryBlock) -> bool:
+    from repro.sql.binder import UnresolvedScalarExpr
+
+    def walk(expr: ex.Expression) -> bool:
+        if isinstance(expr, UnresolvedScalarExpr):
+            return True
+        return any(walk(child) for child in expr.children())
+
+    exprs: List[ex.Expression] = list(block.predicates)
+    exprs.extend(expr for _name, expr in block.select)
+    exprs.extend(expr for _name, expr in block.group_keys)
+    exprs.extend(spec.expr for spec in block.aggregates
+                 if spec.expr is not None)
+    if block.having is not None:
+        exprs.append(block.having)
+    for source in block.sources:
+        exprs.extend(source.filters)
+    return any(walk(expr) for expr in exprs)
+
+
+# ----------------------------------------------------------------------
+# shard side: compute (block, chunk)-tagged partial states
+
+
+def execute_partial(block: QueryBlock, options: QueryOptions,
+                    shard_index: int, shard_count: int,
+                    expected_mode: Optional[str] = None) -> dict:
+    """Run the shard's half of a partial plan over its local rows.
+
+    Returns ``{"mode", "pieces", "counters"}`` where every piece is a
+    JSON-safe dict tagged with its global block id ``k`` and chunk
+    index ``c``.  ``expected_mode`` guards against coordinator/shard
+    classification drift (different binder versions) — a mismatch is a
+    hard error, never a silently different answer.
+    """
+    mode = classify_block(block)
+    if mode == GATHER:
+        raise ExecutionError("query block is not partial-executable; "
+                             "the coordinator must gather instead")
+    if expected_mode is not None and expected_mode != mode:
+        raise ExecutionError(
+            f"partial-plan mode mismatch: coordinator expects "
+            f"{expected_mode!r} but this shard classifies the block as "
+            f"{mode!r}; upgrade so both ends run the same planner")
+
+    source = block.sources[0]
+    relation = source.relation
+    tile_rows = relation.config.tile_size
+
+    planner = Planner(options)
+    planned = {source.alias: PlannedScan(source)}
+    join_edges, residuals = planner._classify_predicates(block, planned)
+    planner._derive_skip_paths(block, planned, join_edges, residuals)
+    item = planned[source.alias]
+
+    rowid_name = None
+    if mode == "rows":
+        rowid_name = source.request(ROWID_PATH, ColumnType.INT64,
+                                    False).name
+
+    # Residual (constant) predicates are row-local, so folding them
+    # into the scan predicate keeps survivors identical to the serial
+    # FilterOp while letting the shard ship only surviving rows.
+    predicate = None
+    for conjunct in item.filters + residuals:
+        predicate = conjunct if predicate is None else ex.BoolAnd(
+            predicate, conjunct)
+    scan = TableScan(
+        relation,
+        list(source.requests.values()),
+        predicate=predicate,
+        skip_paths=sorted(item.skip_paths),
+        range_prunes=planner._range_prunes(source, item.filters),
+        enable_skipping=options.enable_skipping,
+        batch_rows=options.batch_rows,
+        parallelism=1,  # chunk tasks below parallelize instead
+        use_cache=options.tile_cache,
+        multipath_shred=options.enable_multipath_shred,
+    )
+
+    build = _chunk_builder(mode, block, tile_rows, shard_index,
+                           shard_count, rowid_name)
+    tasks = [
+        _bind(_run_chunk, scan, span, tag, build)
+        for tag, span in _chunk_spans(relation, scan, tile_rows,
+                                      shard_index, shard_count,
+                                      options.batch_rows)
+    ]
+    pieces = [piece for piece in
+              run_ordered(tasks, max(1, options.parallelism))
+              if piece is not None]
+    return {"mode": mode, "pieces": pieces,
+            "counters": scan.counters.as_dict()}
+
+
+def _chunk_spans(relation, scan: TableScan, tile_rows: int,
+                 shard_index: int, shard_count: int, batch_rows: int):
+    """Enumerate ``((k, c), [start, stop))`` chunk spans over the
+    shard's local row space, applying tile skipping once up front
+    (mirroring ``TableScan.morsels`` counter semantics)."""
+    total = relation.row_count
+    if relation.format == StorageFormat.JSON:
+        live = [(0, total)] if total else []
+    else:
+        live = []
+        for tile in relation.tiles:
+            scan.counters.tiles_total += 1
+            if scan._can_skip(tile):
+                scan.counters.tiles_skipped += 1
+                continue
+            scan.counters.rows_scanned += tile.row_count
+            live.append((tile.first_row, tile.first_row + tile.row_count))
+    for start, stop in block_ranges(total, tile_rows):
+        k = (start // tile_rows) * shard_count + shard_index
+        for chunk_index, (c_start, c_stop) in enumerate(
+                block_ranges(stop - start, batch_rows)):
+            span = _clip_spans(live, start + c_start, start + c_stop)
+            if span:
+                yield (k, chunk_index), span
+
+
+def _clip_spans(live: List[Tuple[int, int]], start: int,
+                stop: int) -> List[Tuple[int, int]]:
+    """Intersect ``[start, stop)`` with the non-skipped row ranges."""
+    clipped = []
+    for l_start, l_stop in live:
+        lo, hi = max(start, l_start), min(stop, l_stop)
+        if lo < hi:
+            clipped.append((lo, hi))
+    return clipped
+
+
+def _run_chunk(scan: TableScan, span: List[Tuple[int, int]],
+               tag: Tuple[int, int], build) -> Optional[dict]:
+    """Resolve one chunk's surviving rows and build its partial state."""
+    relation = scan.relation
+    batches = []
+    if relation.format == StorageFormat.JSON:
+        for start, stop in span:
+            batch = scan.resolve_morsel(Morsel(0, None, start, stop))
+            if batch.length:
+                batches.append(batch)
+    else:
+        firsts = [tile.first_row for tile in relation.tiles]
+        for start, stop in span:
+            index = max(0, bisect_right(firsts, start) - 1)
+            while index < len(relation.tiles) and \
+                    relation.tiles[index].first_row < stop:
+                tile = relation.tiles[index]
+                lo = max(start, tile.first_row)
+                hi = min(stop, tile.first_row + tile.row_count)
+                if lo < hi:
+                    batch = scan.resolve_morsel(Morsel(
+                        0, tile, lo - tile.first_row, hi - tile.first_row))
+                    if batch.length:
+                        batches.append(batch)
+                index += 1
+    batch = concat_batches(batches)
+    if batch is None:
+        return None
+    piece = build(batch)
+    piece["k"], piece["c"] = tag
+    return piece
+
+
+def _chunk_builder(mode: str, block: QueryBlock, tile_rows: int,
+                   shard_index: int, shard_count: int,
+                   rowid_name: Optional[str]):
+    if mode == "scalar":
+        op = HashAggregateOp(BatchSource([]), [], block.aggregates)
+
+        def build_scalar(batch: Batch) -> dict:
+            states = [_new_state(spec) for spec in block.aggregates]
+            op._scalar_update(states, batch)
+            return {"state": _encode_states(states, block.aggregates)}
+
+        return build_scalar
+
+    if mode == "single_key":
+        _key_name, key_expr = block.group_keys[0]
+
+        def build_single_key(batch: Batch) -> dict:
+            state = _SingleKeyState(key_expr, block.aggregates)
+            state.update(batch)
+            return {
+                "keys": state.key_values,
+                "key_type": state.key_type.name if state.key_type else None,
+                "sums": state.sums,
+                "counts": state.counts,
+                "extremes": state.extremes,
+            }
+
+        return build_single_key
+
+    if mode == "generic":
+
+        def build_generic(batch: Batch) -> dict:
+            key_vectors = [expr.evaluate(batch)
+                           for _name, expr in block.group_keys]
+            agg_vectors = [
+                spec.expr.evaluate(batch) if spec.expr is not None else None
+                for spec in block.aggregates
+            ]
+            groups: Dict[tuple, List] = {}
+            for row in range(batch.length):
+                key = tuple(
+                    None if vector.null_mask[row] else _scalar(vector, row)
+                    for vector in key_vectors)
+                state = groups.get(key)
+                if state is None:
+                    state = [_new_state(spec) for spec in block.aggregates]
+                    groups[key] = state
+                for slot, spec in enumerate(block.aggregates):
+                    _update_state(state[slot], spec, agg_vectors[slot], row)
+            return {
+                "keys": [list(key) for key in groups],
+                "key_types": [vector.type.name for vector in key_vectors],
+                "states": [_encode_states(state, block.aggregates)
+                           for state in groups.values()],
+            }
+
+        return build_generic
+
+    # rows mode
+    select_names = [name for name, _expr in block.select]
+
+    def build_rows(batch: Batch) -> dict:
+        projected = Batch(
+            {name: expr.evaluate(batch) for name, expr in block.select},
+            batch.length)
+        rowids = batch.column(rowid_name)
+        limit = block.limit
+        if limit is not None and projected.length > limit:
+            if block.order_by:
+                # any globally-top-k row is in its chunk's top-k, and
+                # re-sorting the picks preserves original row order —
+                # the same argument as TopKOp._parallel_candidates
+                sort_value = _make_sort_key(projected, block.order_by)
+                picks = heapq.nsmallest(limit, range(projected.length),
+                                        key=sort_value)
+                picks.sort()
+                take = np.array(picks, dtype=np.int64)
+            else:
+                take = np.arange(limit, dtype=np.int64)
+            projected = projected.take(take)
+            rowids = rowids.take(take)
+        rows = [[projected.column(name).value(row) for name in select_names]
+                for row in range(projected.length)]
+        globals_ = [
+            _global_rowid(int(rowids.value(row)), tile_rows, shard_index,
+                          shard_count)
+            for row in range(projected.length)
+        ]
+        return {"rows": rows, "rowids": globals_}
+
+    return build_rows
+
+
+def _global_rowid(local: int, tile_rows: int, shard_index: int,
+                  shard_count: int) -> int:
+    """Map a shard-local row id to its global (coordinator) row id
+    under block round-robin routing."""
+    block_id = (local // tile_rows) * shard_count + shard_index
+    return block_id * tile_rows + local % tile_rows
+
+
+# ----------------------------------------------------------------------
+# state (de)serialization
+#
+# JSON round-trips Python ints exactly and floats via repr (exact for
+# every finite double, including -0.0); the stdlib also emits/parses
+# Infinity and NaN.  The encodings below therefore preserve the merge
+# functions' bit-exactness — including ``_merge_scalar``'s untouched
+# sum sentinel (int 0 stays ``int`` on the wire, float sums come back
+# ``float``).
+
+
+def _encode_states(states: List[List], aggregates) -> List[list]:
+    encoded = []
+    for state, spec in zip(states, aggregates):
+        if spec.func == "count_distinct":
+            encoded.append([sorted(state[0], key=repr)])
+        else:
+            encoded.append(list(state))
+    return encoded
+
+
+def _decode_states(payload: Sequence[list], aggregates) -> List[List]:
+    states = []
+    for state, spec in zip(payload, aggregates):
+        if spec.func == "count_distinct":
+            states.append([set(state[0])])
+        else:
+            states.append(list(state))
+    return states
+
+
+def _decode_single_key(piece: dict, key_expr: ex.Expression,
+                       aggregates) -> _SingleKeyState:
+    state = _SingleKeyState(key_expr, aggregates)
+    state.key_values = list(piece["keys"])
+    state.group_ids = {value: gid
+                       for gid, value in enumerate(state.key_values)}
+    state.key_type = (ColumnType[piece["key_type"]]
+                      if piece.get("key_type") else None)
+    state.sums = [list(slot) for slot in piece["sums"]]
+    state.counts = [list(slot) for slot in piece["counts"]]
+    state.extremes = [list(slot) for slot in piece["extremes"]]
+    return state
+
+
+# ----------------------------------------------------------------------
+# coordinator side: ordered merge + the planner's finishing tail
+
+
+def merge_partial_results(block: QueryBlock, mode: str,
+                          pieces: List[dict]) -> Tuple[List[str],
+                                                       List[tuple]]:
+    """Fold every shard's pieces in global ``(block, chunk)`` order and
+    run the planner's finishing tail (HAVING → SELECT → ORDER BY /
+    LIMIT).  Returns ``(columns, rows)`` bit-identical to single-node
+    execution of the same block."""
+    pieces = sorted(pieces, key=lambda piece: (piece["k"], piece["c"]))
+    if mode == "rows":
+        merged = _assemble_rows(block, pieces)
+        return _finish(block, merged, project=False)
+    if mode == "scalar":
+        op = HashAggregateOp(BatchSource([]), [], block.aggregates)
+        states = [_new_state(spec) for spec in block.aggregates]
+        for piece in pieces:
+            op._merge_scalar(states,
+                             _decode_states(piece["state"],
+                                            block.aggregates))
+        merged = op._finish({(): states}, [])
+    elif mode == "single_key":
+        key_name, key_expr = block.group_keys[0]
+        state = _SingleKeyState(key_expr, block.aggregates)
+        for piece in pieces:
+            state.merge(_decode_single_key(piece, key_expr,
+                                           block.aggregates))
+        merged = state.finish(key_name)
+    elif mode == "generic":
+        groups: Dict[tuple, List] = {}
+        key_types: Optional[List[ColumnType]] = None
+        for piece in pieces:
+            if key_types is None and piece.get("key_types"):
+                key_types = [ColumnType[name]
+                             for name in piece["key_types"]]
+            for key, encoded in zip(piece["keys"], piece["states"]):
+                incoming = _decode_states(encoded, block.aggregates)
+                state = groups.get(tuple(key))
+                if state is None:
+                    groups[tuple(key)] = incoming
+                else:
+                    _merge_exact_states(state, incoming, block.aggregates)
+        op = HashAggregateOp(BatchSource([]), block.group_keys,
+                             block.aggregates)
+        if not groups and not block.group_keys:
+            groups[()] = [_new_state(spec) for spec in block.aggregates]
+        merged = op._finish(groups, key_types)
+    else:
+        raise ExecutionError(f"unknown partial mode {mode!r}")
+    return _finish(block, merged, project=True)
+
+
+def _merge_exact_states(state: List[List], incoming: List[List],
+                        aggregates) -> None:
+    """Merge generic-mode states.  Only exactly-mergeable aggregates
+    reach this path (see :func:`classify_block`): set unions, integer
+    adds and extremes — plus int-valued float sums for avg-over-INT64,
+    exact below 2**53."""
+    for slot, spec in enumerate(aggregates):
+        current, piece = state[slot], incoming[slot]
+        if spec.func == "count_distinct":
+            current[0].update(piece[0])
+        elif spec.func in ("min", "max"):
+            if piece[0] is not None and (
+                    current[0] is None or (
+                        piece[0] < current[0] if spec.func == "min"
+                        else piece[0] > current[0])):
+                current[0] = piece[0]
+        elif spec.func == "avg":
+            current[0] += piece[0]
+            current[1] += piece[1]
+        else:  # sum / count / count_star
+            current[0] += piece[0]
+
+
+def _assemble_rows(block: QueryBlock, pieces: List[dict]) -> Batch:
+    select = block.select
+    columns: Dict[str, List] = {name: [] for name, _expr in select}
+    rowids: List[int] = []
+    for piece in pieces:
+        for row in piece["rows"]:
+            for (name, _expr), value in zip(select, row):
+                columns[name].append(value)
+        rowids.extend(piece["rowids"])
+    # pieces arrive (block, chunk)-sorted and rows within a piece are
+    # already in local order, so rowids are globally ascending — the
+    # concatenation is the serial scan's row order
+    length = len(rowids)
+    vectors = {
+        name: ColumnVector.from_values(expr.result_type, columns[name])
+        for name, expr in select
+    }
+    return Batch(vectors, length)
+
+
+def _finish(block: QueryBlock, merged: Optional[Batch],
+            project: bool) -> Tuple[List[str], List[tuple]]:
+    """The planner's post-aggregation tail, verbatim
+    (``Planner.plan_block``): HAVING filter, SELECT projection, then
+    TopK/Sort/Limit.  ``project=False`` for rows mode, whose shards
+    already projected."""
+    tree = BatchSource([merged] if merged is not None else [])
+    if project:
+        if block.is_aggregated and block.having is not None:
+            tree = FilterOp(tree, block.having)
+        if block.select:
+            tree = ProjectOp(tree, block.select)
+    if block.order_by and block.limit is not None:
+        tree = TopKOp(tree, block.order_by, block.limit)
+    elif block.order_by:
+        tree = SortOp(tree, block.order_by)
+    elif block.limit is not None:
+        tree = LimitOp(tree, block.limit)
+    result = tree.materialize()
+    names = block.output_names()
+    if result is None:
+        return list(names), []
+    rows = [
+        tuple(result.column(name).value(row) for name in names)
+        for row in range(result.length)
+    ]
+    return list(names), rows
+
+
+def merge_counters(counter_dicts: Sequence[Dict[str, int]]) -> ScanCounters:
+    """Sum per-shard scan counters into one (all fields commutative)."""
+    from dataclasses import fields
+
+    total = ScanCounters()
+    known = {field.name for field in fields(ScanCounters)}
+    for wire in counter_dicts:
+        total.merge(ScanCounters(**{key: value for key, value
+                                    in wire.items() if key in known}))
+    return total

@@ -105,6 +105,10 @@ class MaintenanceConfig:
     backpressure_active_queries: int = 4
     #: partitions smaller than this are never reordered
     min_partition_tiles: int = 2
+    #: master switch for REORDER_PARTITION proposals; cluster shards
+    #: run with this off because the coordinator's routing depends on
+    #: physical row order (the canonical block layout, DESIGN.md §7)
+    allow_reordering: bool = True
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None,
@@ -129,6 +133,7 @@ class MaintenanceConfig:
                                         int, 2),
             "backpressure_active_queries": _env(
                 env, "REPRO_MAINT_BACKPRESSURE", int, 4),
+            "allow_reordering": _env_bool(env, "REPRO_MAINT_REORDER", True),
         }
         fields.update({key: value for key, value in overrides.items()
                        if value is not None})
@@ -185,7 +190,8 @@ class MaintenancePlanner:
             actions.append(MaintenanceAction(
                 ActionKind.COMPACT_BUFFER, name, -1, float(pending)))
 
-        reorderable = (relation.format.uses_local_schemas
+        reorderable = (config.allow_reordering
+                       and relation.format.uses_local_schemas
                        and not relation.children)
         reorder_partitions = set()
         if reorderable:

@@ -11,6 +11,11 @@ line in, one per line out.
         client.insert_many("events", [{"id": 1}, {"id": 2}])
         result = client.query("select count(*) as n from events e")
         print(result.scalar())
+
+The same class speaks to a cluster coordinator unchanged — the
+coordinator serves the identical protocol, so pointing the client at
+the coordinator's port *is* the cluster client (the ``ClusterClient``
+alias exists for readability at call sites).
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import socket
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.engine.executor import QueryResult
@@ -36,37 +42,95 @@ class ServerError(ReproError):
 
 
 class ServerClient:
-    """One blocking connection; requests are serialized per client."""
+    """One blocking connection; requests are serialized per client.
+
+    ``timeout`` bounds connect *and* every read, so a caller talking to
+    a hung server gets ``socket.timeout`` instead of blocking forever.
+    A connection dropped mid-request (server restart) is retried once
+    after ``retry_backoff`` seconds; the retry is safe for the
+    coordinator's use (it only re-sends the request whose response was
+    never read) but can double-apply an insert whose ack was lost, so
+    callers needing exactly-once should pass ``retries=0``.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7617,
-                 timeout: Optional[float] = 60.0):
+                 timeout: Optional[float] = 60.0, retries: int = 1,
+                 retry_backoff: float = 0.2):
         self.host = host
         self.port = port
-        self._socket = socket.create_connection((host, port),
-                                                timeout=timeout)
-        self._reader = self._socket.makefile("rb")
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_backoff = retry_backoff
         self._request_id = 0
+        self._socket = None
+        self._reader = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._socket = socket.create_connection((self.host, self.port),
+                                                timeout=self.timeout)
+        self._reader = self._socket.makefile("rb")
+
+    def _reconnect(self) -> None:
+        self.close()
+        time.sleep(self.retry_backoff)
+        self._connect()
 
     # ------------------------------------------------------------------
 
     def _call(self, command: str, **fields) -> dict:
         self._request_id += 1
         request = {"id": self._request_id, "cmd": command, **fields}
-        self._socket.sendall(protocol.encode(request))
-        line = self._reader.readline()
-        if not line:
-            raise ServerError("connection closed by server",
-                              code="disconnected")
-        response = json.loads(line.decode("utf-8"))
-        if not response.get("ok"):
-            raise ServerError(response.get("error", "unknown server error"),
-                              code=response.get("code"))
-        return response
+        payload = protocol.encode(request)
+        if len(payload) > protocol.MAX_MESSAGE_BYTES:
+            raise ServerError(
+                f"request of {len(payload)} bytes exceeds the protocol "
+                f"frame limit of {protocol.MAX_MESSAGE_BYTES} bytes; "
+                f"split the batch", code="protocol")
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            try:
+                self._socket.sendall(payload)
+                line = self._reader.readline()
+            except (ConnectionResetError, BrokenPipeError):
+                if attempt + 1 >= attempts:
+                    raise
+                self._reconnect()
+                continue
+            if not line:
+                # orderly close between requests: one bounded retry
+                if attempt + 1 >= attempts:
+                    raise ServerError("connection closed by server",
+                                      code="disconnected")
+                self._reconnect()
+                continue
+            response = json.loads(line.decode("utf-8"))
+            if not response.get("ok"):
+                raise ServerError(
+                    response.get("error", "unknown server error"),
+                    code=response.get("code"))
+            return response
+        raise ServerError("connection closed by server",
+                          code="disconnected")  # pragma: no cover
 
     # ------------------------------------------------------------------
 
     def ping(self) -> str:
         return self._call("ping")["result"]
+
+    def hello(self, role: str = "client") -> dict:
+        """Exchange protocol versions; raises :class:`ServerError` with
+        code ``version_mismatch`` when the peer speaks a different
+        protocol revision."""
+        response = self._call("hello", version=protocol.PROTOCOL_VERSION,
+                              role=role)
+        peer = response.get("version")
+        if peer != protocol.PROTOCOL_VERSION:
+            raise ServerError(
+                f"protocol version mismatch: peer speaks {peer}, "
+                f"this client speaks {protocol.PROTOCOL_VERSION}",
+                code="version_mismatch")
+        return response
 
     def create_table(self, name: str, storage_format: Optional[str] = None,
                      config: Optional[dict] = None) -> dict:
@@ -103,6 +167,38 @@ class ServerClient:
                            rows=[tuple(row) for row in response["rows"]],
                            counters=counters)
 
+    def partial_query(self, sql: str, shard_index: int, shard_count: int,
+                      mode: Optional[str] = None,
+                      options: Optional[dict] = None) -> dict:
+        """Shard half of a scatter/gather query; returns the raw
+        ``{"mode", "pieces", "counters"}`` payload for the coordinator
+        merge (``repro.engine.partial``)."""
+        fields = {"sql": sql, "shard_index": shard_index,
+                  "shard_count": shard_count}
+        if mode is not None:
+            fields["mode"] = mode
+        if options:
+            fields["options"] = options
+        return self._call("partial_query", **fields)
+
+    def fetch_docs(self, table: str, start: int = 0,
+                   limit: int = 2000) -> dict:
+        """One page of a table's documents in row order:
+        ``{"docs", "next", "total"}``."""
+        return self._call("fetch_docs", table=table, start=start,
+                          limit=limit)
+
+    def wal_fetch(self, table: str, from_total: int = 0,
+                  limit: int = 10000) -> dict:
+        """WAL records from a cumulative offset:
+        ``{"docs", "next", "total", "resync"}`` (``resync`` true when
+        the offset was pruned and the caller must re-page documents)."""
+        return self._call("wal_fetch", table=table, from_total=from_total,
+                          limit=limit)
+
+    def replica_status(self) -> dict:
+        return self._call("replica_status")
+
     def explain(self, sql: str, options: Optional[dict] = None) -> str:
         fields = {"sql": sql}
         if options:
@@ -130,12 +226,22 @@ class ServerClient:
 
     def close(self) -> None:
         try:
-            self._reader.close()
+            if self._reader is not None:
+                self._reader.close()
         finally:
-            self._socket.close()
+            if self._socket is not None:
+                self._socket.close()
+            self._reader = None
+            self._socket = None
+
 
     def __enter__(self) -> "ServerClient":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+#: the coordinator speaks the same protocol on its own port, so the
+#: cluster-transparent client is the plain client pointed at it
+ClusterClient = ServerClient

@@ -135,6 +135,32 @@ class QueryExecutor:
                 self.queries_executed += 1
         return result
 
+    def execute_partial(self, sql: str, options: Optional[QueryOptions],
+                        shard_index: int, shard_count: int,
+                        expected_mode: Optional[str] = None) -> dict:
+        """Shard side of a coordinator's scatter/gather query
+        (DESIGN.md §7): bind locally, then compute JSON-serializable
+        partial states over this shard's rows.  Same flush-then-lock
+        discipline as :meth:`execute`, so the partial observes every
+        insert acknowledged before it started."""
+        from repro.engine.partial import execute_partial
+        from repro.sql.binder import Binder
+
+        with self._counter_lock:
+            self._active += 1
+        try:
+            tables = self.lock_set(sql)
+            self._prepare(tables)
+            with self.locks.read_locked(tables):
+                block = Binder(self.db.tables, options).bind(parse(sql))
+                return execute_partial(block, options or QueryOptions(),
+                                       shard_index, shard_count,
+                                       expected_mode)
+        finally:
+            with self._counter_lock:
+                self._active -= 1
+                self.queries_executed += 1
+
     def explain(self, sql: str,
                 options: Optional[QueryOptions] = None) -> str:
         tables = self.lock_set(sql)

@@ -22,10 +22,18 @@ from typing import Optional
 #: cleanly instead of buffering without bound
 MAX_MESSAGE_BYTES = 32 * 1024 * 1024
 
+#: bumped whenever the command set or a command's wire shape changes;
+#: ``hello`` exchanges it so a coordinator refuses to drive a shard
+#: built against a different protocol instead of failing mid-query
+PROTOCOL_VERSION = 2
+
 #: commands the server understands (kept here so client and server
-#: cannot drift)
+#: cannot drift); the cluster-facing commands (``hello`` onward) are
+#: spoken shard-to-coordinator but remain valid from any client
 COMMANDS = ("ping", "create_table", "insert", "flush", "query", "explain",
-            "stats", "checkpoint", "maintenance", "shutdown")
+            "stats", "checkpoint", "maintenance", "shutdown",
+            "hello", "partial_query", "fetch_docs", "wal_fetch",
+            "replica_status")
 
 
 class ProtocolError(Exception):

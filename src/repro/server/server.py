@@ -30,6 +30,7 @@ Data directory layout::
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import os
 import re
@@ -98,7 +99,9 @@ class JsonTilesServer:
                  multipath_shred: Optional[bool] = None,
                  checkpoint_interval: Optional[float] = None,
                  maintenance: bool = False,
-                 maintenance_config: Optional[MaintenanceConfig] = None):
+                 maintenance_config: Optional[MaintenanceConfig] = None,
+                 read_only: bool = False,
+                 role: str = "server"):
         self.data_dir = Path(data_dir)
         self.host = host
         self.port = port
@@ -129,6 +132,16 @@ class JsonTilesServer:
         self.maintenance_config = maintenance_config
         self.maintenance: Optional[MaintenanceDaemon] = None
         self._maintenance_task: Optional[asyncio.Task] = None
+        #: read replicas reject client writes over the protocol; the
+        #: replication task applies documents through internal calls
+        self.read_only = read_only
+        #: advertised in ``hello``/``stats`` ("server", "shard",
+        #: "replica", "coordinator") — observability only
+        self.role = role
+        #: hook for the replication subsystem (cluster/replica.py): a
+        #: callable returning the replica's applied offsets and lag,
+        #: surfaced verbatim by the ``replica_status`` command
+        self.replication_status = None
 
         self.db: Optional[Database] = None
         self.wals: Optional[WalManager] = None
@@ -244,6 +257,11 @@ class JsonTilesServer:
                 self._checkpoint_periodically())
         if self.maintenance_enabled:
             config = self.maintenance_config or MaintenanceConfig.from_env()
+            if self.role == "shard" and config.allow_reordering:
+                # a coordinator's block routing depends on this shard's
+                # physical row order: reordering would silently corrupt
+                # the global layout (DESIGN.md §7)
+                config = dataclasses.replace(config, allow_reordering=False)
             self.maintenance = MaintenanceDaemon(
                 lambda: dict(self._base), config,
                 journal=MaintenanceJournal(self.wals.journal("maintenance")),
@@ -484,7 +502,22 @@ class JsonTilesServer:
     async def _cmd_ping(self, request: dict, request_id) -> dict:
         return protocol.ok_response(request_id, result="pong")
 
+    async def _cmd_hello(self, request: dict, request_id) -> dict:
+        """Version/capability handshake.  Always answers — a peer on a
+        different protocol revision gets a well-formed response telling
+        it so, instead of ``unknown command`` mid-query."""
+        return protocol.ok_response(
+            request_id,
+            version=protocol.PROTOCOL_VERSION,
+            role=self.role,
+            read_only=self.read_only,
+            commands=list(protocol.COMMANDS))
+
     async def _cmd_create_table(self, request: dict, request_id) -> dict:
+        if self.read_only:
+            return protocol.error_response(
+                "this server is a read replica; create tables on the "
+                "primary", request_id, code="read_only")
         name = request["name"]
         if not isinstance(name, str) or not _TABLE_NAME.match(name):
             return protocol.error_response(
@@ -500,19 +533,45 @@ class JsonTilesServer:
             return protocol.error_response(
                 f"unknown storage format {format_name!r}", request_id,
                 code="bad_request")
-        config = _config_from_dict(request.get("config"), self.config)
-        relation = self.db.create_table(name, _FORMATS[format_name], config)
-        relation.auto_seal = False
-        self._base[name] = relation
-        # catalog + WAL segment exist before the ack, so the table
-        # definition survives a crash even with zero checkpoints
-        await self._loop.run_in_executor(self._io_pool, self._write_catalog)
         await self._loop.run_in_executor(
-            self._io_pool, self.wals.for_table, name)
+            self._io_pool, self.register_table, name, format_name,
+            request.get("config"))
         return protocol.ok_response(request_id, table=name,
                                     format=format_name)
 
+    def register_table(self, name: str, format_name: Optional[str] = None,
+                       config_dict: Optional[dict] = None) -> Relation:
+        """Create and catalog a base table (blocking; call off the
+        event loop).  Also the entry point the replication subsystem
+        uses to mirror the primary's catalog — catalog + WAL segment
+        exist before this returns, so the table definition survives a
+        crash even with zero checkpoints."""
+        config = _config_from_dict(config_dict, self.config)
+        relation = self.db.create_table(
+            name, _FORMATS[format_name or self.default_format.value],
+            config)
+        relation.auto_seal = False
+        self._base[name] = relation
+        self._write_catalog()
+        self.wals.for_table(name)
+        return relation
+
+    def apply_replicated(self, name: str, documents: list) -> int:
+        """Apply replicated documents through the normal ingest path
+        (own WAL + buffer + background seal), bypassing the protocol's
+        read-only gate.  Blocking; call off the event loop."""
+        relation = self._base[name]
+        pending = self._append_and_buffer(name, relation, documents)
+        self._bump("inserts", len(documents))
+        if pending >= relation.config.tile_size:
+            self._schedule_seal(name, relation)
+        return pending
+
     async def _cmd_insert(self, request: dict, request_id) -> dict:
+        if self.read_only:
+            return protocol.error_response(
+                "this server is a read replica; write to the primary",
+                request_id, code="read_only")
         name = request["table"]
         relation = self._base.get(name)
         if relation is None:
@@ -572,6 +631,80 @@ class JsonTilesServer:
             counters=result.counters.as_dict(),
         )
 
+    async def _cmd_partial_query(self, request: dict, request_id) -> dict:
+        """Shard half of a coordinator scatter/gather query: flush,
+        bind locally, return ``(block, chunk)``-tagged partial states
+        (``repro.engine.partial``).  ``shard_index``/``shard_count``
+        fix this shard's place in the global block round-robin;
+        ``mode`` (optional) is the coordinator's own classification,
+        double-checked shard-side against planner drift."""
+        options = options_from_dict(request.get("options"),
+                                    self.default_options)
+        result = await asyncio.wrap_future(self.executor.submit_call(
+            self.executor.execute_partial, request["sql"], options,
+            int(request["shard_index"]), int(request["shard_count"]),
+            request.get("mode")))
+        self._bump("queries")
+        return protocol.ok_response(request_id, **result)
+
+    async def _cmd_fetch_docs(self, request: dict, request_id) -> dict:
+        """Page through a table's documents in row order (flushing
+        first, so the page reflects every acknowledged insert).  Used
+        by the coordinator's gather fallback and by replica resync."""
+        name = request["table"]
+        relation = self._base.get(name)
+        if relation is None:
+            return protocol.error_response(f"unknown table {name!r}",
+                                           request_id, code="bad_request")
+        start = max(0, int(request.get("start", 0)))
+        limit = max(1, int(request.get("limit", 2000)))
+
+        def fetch():
+            relation.flush_inserts(
+                append_guard=lambda: self.locks.write_locked(name))
+            with self.locks.read_locked([name]):
+                total = relation.row_count
+                stop = min(total, start + limit)
+                return [relation.document(row)
+                        for row in range(start, stop)], total
+
+        documents, total = await asyncio.wrap_future(
+            self.executor.submit_call(fetch))
+        return protocol.ok_response(request_id, docs=documents,
+                                    next=start + len(documents),
+                                    total=total)
+
+    async def _cmd_wal_fetch(self, request: dict, request_id) -> dict:
+        """Ship WAL records from a cumulative offset (live segment +
+        archived epochs).  ``resync: true`` — not an error — when the
+        offset predates the archive window; the replica then falls
+        back to ``fetch_docs``."""
+        name = request["table"]
+        if name not in self._base:
+            return protocol.error_response(f"unknown table {name!r}",
+                                           request_id, code="bad_request")
+        wal = self.wals.for_table(name)
+        from_total = max(0, int(request.get("from_total", 0)))
+        limit = max(1, int(request.get("limit", 10000)))
+        try:
+            documents, next_total = await self._loop.run_in_executor(
+                self._io_pool, wal.fetch, from_total, limit)
+        except ReproError:
+            return protocol.ok_response(
+                request_id, resync=True, docs=[], next=from_total,
+                total=wal.total_records())
+        return protocol.ok_response(
+            request_id, resync=False, docs=documents, next=next_total,
+            total=wal.total_records())
+
+    async def _cmd_replica_status(self, request: dict, request_id) -> dict:
+        if self.replication_status is None:
+            return protocol.ok_response(request_id, replica=False,
+                                        role=self.role)
+        status = self.replication_status()
+        return protocol.ok_response(request_id, replica=True,
+                                    role=self.role, **status)
+
     async def _cmd_explain(self, request: dict, request_id) -> dict:
         options = options_from_dict(request.get("options"),
                                     self.default_options)
@@ -585,12 +718,19 @@ class JsonTilesServer:
         for table, relation in sorted(self._base.items()):
             if name and table != name:
                 continue
+            wal = self.wals.for_table(table)
             tables[table] = {
                 "format": relation.format.value,
                 "rows": relation.row_count,
                 "pending": relation.pending_inserts,
                 "tiles": len(relation.tiles),
-                "wal_records": self.wals.for_table(table).record_count,
+                "wal_records": wal.record_count,
+                # cumulative shipping offset + table definition: enough
+                # for a coordinator or replica to rebuild its catalog
+                # and resume replication from stats alone
+                "wal_total": wal.total_records(),
+                "config": {field: getattr(relation.config, field)
+                           for field in _CONFIG_FIELDS},
                 "scan": dict(relation.scan_totals),
                 "residency": relation.residency_report(),
             }
@@ -609,7 +749,8 @@ class JsonTilesServer:
             request_id, tables=tables, counters=counters,
             cache=GLOBAL_TILE_CACHE.stats(),
             residency=GLOBAL_TILE_STORE.stats(), pool=pool,
-            uptime_s=round(uptime, 3), **extra)
+            uptime_s=round(uptime, 3), role=self.role,
+            read_only=self.read_only, **extra)
 
     async def _cmd_maintenance(self, request: dict, request_id) -> dict:
         """Operator surface of the maintenance daemon:

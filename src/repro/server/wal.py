@@ -20,16 +20,30 @@ file, so there is no window where the snapshot and the WAL disagree:
   rename, before truncate) and replays everything when the epoch is
   newer (normal restart).
 
-File layout: magic ``JWAL1``, little-endian u32 epoch, then records of
-``u32 length | u32 crc32 | payload`` where the payload is the UTF-8
-JSON document.  A torn tail (partial record or crc mismatch) is
-dropped on open — those records were never acknowledged.
+Replication (DESIGN.md §7) adds a *cumulative* coordinate system on
+top of the per-segment one: each segment header also stores ``base``,
+the number of records that lived in earlier epochs of the same table.
+``base + record_count`` is the table's total acknowledged record count
+across all epochs — a monotone shipping offset that survives
+checkpoint truncation.  Truncation archives the sealed segment under
+``wal/archive/`` (pruned to the newest few) so a replica that is a few
+epochs behind can still :meth:`~WriteAheadLog.fetch` the records it
+missed; a replica further behind than the archive window must resync
+from the primary's documents instead.
+
+File layout: magic ``JWAL2``, little-endian u32 epoch, u64 base, then
+records of ``u32 length | u32 crc32 | payload`` where the payload is
+the UTF-8 JSON document.  ``JWAL1`` segments (no base field) are still
+readable — their base is taken as zero.  A torn tail (partial record
+or crc mismatch) is dropped on open — those records were never
+acknowledged.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 import struct
 import threading
 import zlib
@@ -38,19 +52,37 @@ from typing import Dict, Iterable, List, Tuple, Union
 
 from repro.errors import StorageError
 
-WAL_MAGIC = b"JWAL1"
-_HEADER = struct.Struct("<I")          # epoch
+WAL_MAGIC = b"JWAL2"
+WAL_MAGIC_V1 = b"JWAL1"
+_HEADER = struct.Struct("<IQ")         # epoch, cumulative base
+_HEADER_V1 = struct.Struct("<I")       # epoch only
 _RECORD = struct.Struct("<II")         # payload length, crc32
 _HEADER_BYTES = len(WAL_MAGIC) + _HEADER.size
 
+#: how many archived (truncated) segments to keep per table for
+#: replica catch-up before they are pruned
+ARCHIVE_KEEP = 16
 
-def _scan(data: bytes, path: Path) -> Tuple[int, int, List[bytes]]:
-    """Validate *data*; returns (epoch, bytes of valid prefix, payloads)."""
-    if len(data) < _HEADER_BYTES or data[:len(WAL_MAGIC)] != WAL_MAGIC:
+
+def _scan(data: bytes, path: Path) -> Tuple[int, int, int, List[bytes]]:
+    """Validate *data*; returns (epoch, base, valid prefix bytes,
+    payloads).  Accepts both the current ``JWAL2`` and the legacy
+    ``JWAL1`` layout (base 0)."""
+    magic = data[:len(WAL_MAGIC)]
+    if magic == WAL_MAGIC:
+        if len(data) < _HEADER_BYTES:
+            raise StorageError(f"{path} is not a WAL segment")
+        epoch, base = _HEADER.unpack_from(data, len(WAL_MAGIC))
+        pos = _HEADER_BYTES
+    elif magic == WAL_MAGIC_V1:
+        if len(data) < len(WAL_MAGIC_V1) + _HEADER_V1.size:
+            raise StorageError(f"{path} is not a WAL segment")
+        (epoch,) = _HEADER_V1.unpack_from(data, len(WAL_MAGIC_V1))
+        base = 0
+        pos = len(WAL_MAGIC_V1) + _HEADER_V1.size
+    else:
         raise StorageError(f"{path} is not a WAL segment")
-    (epoch,) = _HEADER.unpack_from(data, len(WAL_MAGIC))
     payloads: List[bytes] = []
-    pos = _HEADER_BYTES
     while pos + _RECORD.size <= len(data):
         length, crc = _RECORD.unpack_from(data, pos)
         end = pos + _RECORD.size + length
@@ -61,26 +93,33 @@ def _scan(data: bytes, path: Path) -> Tuple[int, int, List[bytes]]:
             break  # torn tail: payload corrupted
         payloads.append(payload)
         pos = end
-    return epoch, pos, payloads
+    return epoch, base, pos, payloads
 
 
 class WriteAheadLog:
     """One append-only segment file for one table."""
 
-    def __init__(self, path: Union[str, Path], sync: bool = True):
+    def __init__(self, path: Union[str, Path], sync: bool = True,
+                 archive: bool = True, archive_keep: int = ARCHIVE_KEEP):
         self.path = Path(path)
         self.sync = sync
+        #: keep truncated segments under ``archive/`` for replica
+        #: catch-up; off for journals, whose history has no reader
+        self.archive = archive
+        self.archive_keep = archive_keep
         self._lock = threading.Lock()
         self._handle = None
         self.epoch = 1
+        self.base = 0
         self.record_count = 0
         self._open()
 
     def _open(self) -> None:
         if self.path.exists():
             data = self.path.read_bytes()
-            epoch, valid, payloads = _scan(data, self.path)
+            epoch, base, valid, payloads = _scan(data, self.path)
             self.epoch = epoch
+            self.base = base
             self.record_count = len(payloads)
             self._handle = self.path.open("r+b")
             if valid < len(data):  # drop the unacknowledged torn tail
@@ -88,7 +127,8 @@ class WriteAheadLog:
             self._handle.seek(valid)
         else:
             self._handle = self.path.open("w+b")
-            self._handle.write(WAL_MAGIC + _HEADER.pack(self.epoch))
+            self._handle.write(WAL_MAGIC + _HEADER.pack(self.epoch,
+                                                        self.base))
             self._flush()
 
     def _flush(self) -> None:
@@ -124,7 +164,7 @@ class WriteAheadLog:
         """Every acknowledged document in the segment, in append order."""
         with self._lock:
             data = self.path.read_bytes()
-        _epoch, _valid, payloads = _scan(data, self.path)
+        _epoch, _base, _valid, payloads = _scan(data, self.path)
         return [json.loads(payload.decode("utf-8")) for payload in payloads]
 
     def position(self) -> Dict[str, int]:
@@ -133,22 +173,81 @@ class WriteAheadLog:
         with self._lock:
             return {"epoch": self.epoch, "records": self.record_count}
 
+    def total_records(self) -> int:
+        """Cumulative acknowledged records across all epochs — the
+        monotone offset replicas ship against."""
+        with self._lock:
+            return self.base + self.record_count
+
     def truncate(self) -> None:
         """Atomically replace the segment with an empty next-epoch one
-        (called after a checkpoint made its records redundant)."""
+        (called after a checkpoint made its records redundant).  The
+        sealed segment is archived for replica catch-up first."""
         with self._lock:
             next_epoch = self.epoch + 1
+            next_base = self.base + self.record_count
+            if self.archive and self.record_count:
+                archive_dir = self.path.parent / "archive"
+                archive_dir.mkdir(exist_ok=True)
+                shutil.copy2(self.path, archive_dir /
+                             f"{self.path.stem}.{self.epoch:08d}.wal")
+                self._prune_archives(archive_dir)
             temp = self.path.with_name(self.path.name + ".tmp")
             with temp.open("wb") as handle:
-                handle.write(WAL_MAGIC + _HEADER.pack(next_epoch))
+                handle.write(WAL_MAGIC + _HEADER.pack(next_epoch, next_base))
                 handle.flush()
                 os.fsync(handle.fileno())
             self._handle.close()
             os.replace(temp, self.path)
             self.epoch = next_epoch
+            self.base = next_base
             self.record_count = 0
             self._handle = self.path.open("r+b")
             self._handle.seek(0, os.SEEK_END)
+
+    def _prune_archives(self, archive_dir: Path) -> None:
+        archives = sorted(archive_dir.glob(f"{self.path.stem}.*.wal"))
+        for stale in archives[:-self.archive_keep]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent prune
+                pass
+
+    # ------------------------------------------------------------------
+
+    def fetch(self, from_total: int, limit: int = 10000
+              ) -> Tuple[List[object], int]:
+        """Records starting at cumulative offset *from_total*, reading
+        archived segments when the offset predates the live one.
+        Returns ``(documents, next_total)``.  Raises
+        :class:`StorageError` when the offset has been pruned — the
+        caller must resync from a full snapshot instead."""
+        with self._lock:
+            base = self.base
+            data = self.path.read_bytes()
+        segments: List[Tuple[int, List[bytes]]] = []
+        if from_total < base:
+            archive_dir = self.path.parent / "archive"
+            for archived in sorted(archive_dir.glob(
+                    f"{self.path.stem}.*.wal")):
+                a_epoch, a_base, _valid, payloads = _scan(
+                    archived.read_bytes(), archived)
+                if a_base + len(payloads) > from_total:
+                    segments.append((a_base, payloads))
+            if not segments or segments[0][0] > from_total:
+                raise StorageError(
+                    f"WAL records before offset {base} of "
+                    f"{self.path.stem} were pruned; resync required")
+        _epoch, _base, _valid, live = _scan(data, self.path)
+        segments.append((base, live))
+        documents: List[object] = []
+        for seg_base, payloads in segments:
+            if len(documents) >= limit:
+                break
+            start = max(0, from_total + len(documents) - seg_base)
+            for payload in payloads[start:start + (limit - len(documents))]:
+                documents.append(json.loads(payload.decode("utf-8")))
+        return documents, from_total + len(documents)
 
     def close(self) -> None:
         with self._lock:
@@ -192,13 +291,15 @@ class WalManager:
         """A non-table WAL segment (``<name>.journal``) for subsystem
         bookkeeping — e.g. the maintenance action journal.  Excluded
         from :meth:`existing_tables` (which only globs ``*.wal``) so
-        recovery never mistakes it for an ingest log.  Never fsynced:
-        the journal records *that* an action ran, not row data."""
+        recovery never mistakes it for an ingest log.  Never fsynced
+        or archived: the journal records *that* an action ran, not row
+        data."""
         key = f"{name}.journal"
         with self._lock:
             segment = self._segments.get(key)
             if segment is None:
-                segment = WriteAheadLog(self.directory / key, sync=False)
+                segment = WriteAheadLog(self.directory / key, sync=False,
+                                        archive=False)
                 self._segments[key] = segment
             return segment
 

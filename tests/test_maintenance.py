@@ -169,6 +169,23 @@ class TestPlanner:
         assert all(a.kind is ActionKind.REORDER_PARTITION for a in actions)
         assert all(a.score > 0 for a in actions)
 
+    def test_allow_reordering_off_blocks_reorders(self):
+        # cluster shards run with allow_reordering off (the coordinator
+        # routing depends on physical row order, DESIGN.md §7): the
+        # planner must never propose a reorder, however degraded the
+        # partition looks
+        relation = shuffled_relation(256)
+        planner = MaintenancePlanner(
+            MaintenanceConfig(allow_reordering=False))
+        actions = planner.plan(self._tracked(relation))
+        assert not any(a.kind is ActionKind.REORDER_PARTITION
+                       for a in actions)
+
+    def test_allow_reordering_env_override(self):
+        config = MaintenanceConfig.from_env(
+            env={"REPRO_MAINT_REORDER": "off"})
+        assert config.allow_reordering is False
+
     def test_healthy_partition_not_reordered(self):
         homogeneous = [DOC_TYPES["story"](i) for i in range(128)]
         relation = load_documents("t", homogeneous, StorageFormat.TILES,
