@@ -239,12 +239,18 @@ def serve_replica_main(argv: List[str], out) -> int:
     parser.add_argument("--poll-interval", type=float, default=0.25,
                         metavar="SECONDS",
                         help="seconds between replication polls")
+    parser.add_argument("--allow-reordering", action="store_true",
+                        help="follow tables extracted with "
+                             "enable_reordering=true even though the "
+                             "replica may silently diverge from the "
+                             "primary (refused by default)")
     args = parser.parse_args(argv)
     try:
         primary_host, primary_port = args.primary.rsplit(":", 1)
         run_replica(args.data_dir, primary_host, int(primary_port),
                     args.host, args.port,
-                    poll_interval=args.poll_interval)
+                    poll_interval=args.poll_interval,
+                    allow_reordering=args.allow_reordering)
     except ValueError:
         print(f"error: --primary must be HOST:PORT, got "
               f"{args.primary!r}", file=out)

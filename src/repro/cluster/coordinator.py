@@ -29,12 +29,18 @@ primary and counts the fallback.
 
 Failure surface: a backend that is down or mid-crash surfaces as a
 protocol error with code ``unavailable`` naming the backend address.
-Inserts are not atomic across shards — an ``unavailable`` insert may
-have landed on some shards; the client must treat the batch as
-unacknowledged and may re-send only after verifying per-shard counts
-(``stats``).  Admission control: more than ``max_inflight_queries``
-concurrent queries get code ``overloaded`` instead of queueing without
-bound.
+Only idempotent commands are ever re-sent after a dropped connection;
+a failed ``insert`` is never retried blindly (the backend may have
+applied it even though the ack was lost).  Inserts are not atomic
+across shards — an ``unavailable`` insert may have landed on some
+shards, so the coordinator marks the table *degraded* and refuses
+further inserts and queries against it (code ``degraded``) until the
+per-shard row counts re-verify against the canonical block layout;
+verification is attempted automatically on the next access and the
+flag is visible in ``stats``.  The client must treat the failed batch
+as unacknowledged and may re-send only after the table heals.
+Admission control: more than ``max_inflight_queries`` concurrent
+queries get code ``overloaded`` instead of queueing without bound.
 """
 
 from __future__ import annotations
@@ -74,6 +80,19 @@ _CONFIG_FIELDS = ("tile_size", "partition_size", "threshold",
                   "mining_budget", "max_array_elements", "detect_dates",
                   "enable_reordering")
 
+#: commands a BackendLink may re-send after a dropped connection —
+#: re-applying any of these cannot change backend state.  ``insert``,
+#: ``create_table`` and ``shutdown`` are deliberately absent: once the
+#: request bytes have left this process the backend may have applied
+#: them even though the ack was lost, and a blind re-send would
+#: double-apply the batch and silently corrupt the canonical block
+#: layout that routing, partial merges and replica lag depend on.
+_IDEMPOTENT_COMMANDS = frozenset({
+    "ping", "hello", "query", "explain", "stats", "partial_query",
+    "fetch_docs", "wal_fetch", "replica_status", "maintenance",
+    "flush", "checkpoint",
+})
+
 
 class BackendError(ReproError):
     """A shard/replica call failed; carries the peer's error code."""
@@ -86,9 +105,14 @@ class BackendError(ReproError):
 class BackendLink:
     """One persistent connection to one backend, requests serialized
     under an asyncio lock (the protocol is strictly request/response
-    per connection).  A dropped connection is re-dialed once per call;
-    an unreachable backend raises ``BackendError(code="unavailable")``
-    naming the address."""
+    per connection).  A dropped connection is re-dialed once per call,
+    but only :data:`_IDEMPOTENT_COMMANDS` are ever re-*sent*: a
+    non-idempotent request that failed after its bytes were written
+    (``insert``!) raises ``BackendError(code="unavailable")``
+    immediately, because the backend may have applied it even though
+    the ack was lost — the caller must treat it as unacknowledged, per
+    the documented insert contract.  An unreachable backend raises the
+    same ``unavailable`` error naming the address."""
 
     def __init__(self, endpoint: Endpoint, timeout: float = 60.0):
         self.endpoint = endpoint
@@ -124,10 +148,13 @@ class BackendLink:
                     f"request to {self.endpoint.address} exceeds the "
                     f"protocol frame limit; split the batch",
                     code="protocol")
+            retriable = command in _IDEMPOTENT_COMMANDS
             for attempt in (0, 1):
+                sent = False
                 try:
                     if self._writer is None:
                         await self._connect()
+                    sent = True
                     self._writer.write(payload)
                     await self._writer.drain()
                     line = await asyncio.wait_for(self._reader.readline(),
@@ -136,18 +163,28 @@ class BackendLink:
                         ConnectionRefusedError, OSError,
                         asyncio.TimeoutError) as exc:
                     await self._close()
-                    if attempt:
+                    # retry only if the request provably never reached
+                    # the backend (connect failed) or re-applying it is
+                    # harmless; a written non-idempotent request may
+                    # already be applied, so it must surface as failed
+                    if attempt or (sent and not retriable):
+                        suffix = ("; the request may have been applied "
+                                  "— treat it as unacknowledged"
+                                  if sent and not retriable else "")
                         raise BackendError(
                             f"backend {self.endpoint.address} is "
-                            f"unavailable: {exc}",
+                            f"unavailable: {exc}{suffix}",
                             code="unavailable") from exc
                     continue
                 if not line:
                     await self._close()
-                    if attempt:
+                    if attempt or not retriable:
+                        suffix = ("; the request may have been applied "
+                                  "— treat it as unacknowledged"
+                                  if not retriable else "")
                         raise BackendError(
                             f"backend {self.endpoint.address} closed the "
-                            f"connection", code="unavailable")
+                            f"connection{suffix}", code="unavailable")
                     continue
                 response = json.loads(line.decode("utf-8"))
                 if not response.get("ok"):
@@ -275,6 +312,7 @@ class ClusterCoordinator:
             "format": format_name,
             "config": config,
             "count": count,
+            "degraded": False,
             "lock": asyncio.Lock(),
         }
         self.tables[name] = entry
@@ -472,6 +510,8 @@ class ClusterCoordinator:
         # row order must equal the global insert order restricted to
         # its blocks, so batches may not interleave mid-dispatch
         async with entry["lock"]:
+            if entry["degraded"]:
+                await self._reconcile_table(name, entry)
             base = entry["count"]
             per_shard: List[list] = [[] for _ in range(shard_count)]
             for offset, document in enumerate(documents):
@@ -480,13 +520,66 @@ class ClusterCoordinator:
             calls = [link.call("insert", table=name, docs=chunk)
                      for link, chunk in zip(self.links, per_shard)
                      if chunk]
-            responses = await asyncio.gather(*calls)
+            responses = await asyncio.gather(*calls,
+                                             return_exceptions=True)
+            failures = [response for response in responses
+                        if isinstance(response, BaseException)]
+            if failures:
+                # any failed sub-batch may still have been applied
+                # shard-side (lost ack), so the routed count can no
+                # longer be trusted: degrade the table — traffic is
+                # refused until the per-shard counts re-verify against
+                # the canonical block layout (``_reconcile_table``)
+                entry["degraded"] = True
+                raise failures[0]
             entry["count"] = base + len(documents)
         self._bump("inserts", len(documents))
         pending = max((response.get("pending", 0)
                        for response in responses), default=0)
         return protocol.ok_response(request_id, inserted=len(documents),
                                     pending=pending)
+
+    async def _reconcile_table(self, name: str, entry: dict) -> None:
+        """Re-verify a degraded table against shard stats (caller holds
+        the entry lock).  After a failed insert fan-out some shards may
+        hold sub-batches the coordinator never counted; the table heals
+        only if the per-shard row counts match the canonical block
+        round-robin for their sum — that sum then becomes the routed
+        count.  Any other layout means a routed block is missing from
+        the middle of the table, and the coordinator keeps refusing
+        traffic (code ``degraded``) instead of returning wrong
+        results."""
+        stats = await asyncio.gather(
+            *[link.call("stats", table=name) for link in self.links])
+        counts = []
+        for shard_stats in stats:
+            table = shard_stats.get("tables", {}).get(name)
+            counts.append(table["rows"] + table["pending"]
+                          if table else 0)
+        total = sum(counts)
+        tile_rows = entry["config"].get("tile_size", 1024)
+        expected = [shard_rows(total, tile_rows,
+                               self.topology.shard_count, index)
+                    for index in range(self.topology.shard_count)]
+        if counts != expected:
+            raise BackendError(
+                f"table {name!r} is degraded: a failed insert left the "
+                f"shards holding {counts} rows where the block layout "
+                f"for {total} total rows requires {expected}; reload "
+                f"the table to repair it", code="degraded")
+        entry["count"] = total
+        entry["degraded"] = False
+
+    async def _ensure_routable(self, names) -> None:
+        """Refuse to serve tables marked degraded by a failed insert,
+        after one reconciliation attempt against shard stats."""
+        for name in names:
+            entry = self.tables.get(name)
+            if entry is None or not entry["degraded"]:
+                continue
+            async with entry["lock"]:
+                if entry["degraded"]:
+                    await self._reconcile_table(name, entry)
 
     async def _cmd_flush(self, request: dict, request_id) -> dict:
         fields = {}
@@ -542,6 +635,7 @@ class ClusterCoordinator:
         for name, entry in self.tables.items():
             if name in tables:
                 tables[name]["routed_rows"] = entry["count"]
+                tables[name]["degraded"] = entry["degraded"]
         shards = [
             {"address": link.endpoint.address,
              "tables": response.get("tables", {}),
@@ -617,6 +711,7 @@ class ClusterCoordinator:
                              "shards": self.topology.shard_count})
             self._bump("partial_queries")
             table = block.sources[0].relation.name
+            await self._ensure_routable([table])
             backends, replicas_used = await self._select_backends([table])
             responses = await asyncio.gather(*[
                 link.call("partial_query", sql=sql, shard_index=index,
@@ -714,6 +809,7 @@ class ClusterCoordinator:
 
     async def _gather_query(self, sql: str, options: QueryOptions):
         tables = sorted(referenced_tables(parse(sql)) & set(self.tables))
+        await self._ensure_routable(tables)
         async with self._gather_lock:
             for name in tables:
                 await self._refresh_gather_table(name)

@@ -24,6 +24,15 @@ the replica re-pages the missing rows with ``fetch_docs`` (row index
 equals cumulative record index on the primary — the WAL holds one
 record per document).
 
+Both of those identities — replica layout == primary layout, and row
+index == cumulative WAL record index — require the primary's physical
+row order to equal its WAL (insert) order, which holds only when the
+table is extracted with ``enable_reordering=false`` (what the cluster
+coordinator forces on every shard table).  A replica therefore
+*refuses* to replicate a table whose primary config permits
+reordering, recording it under ``refused`` in ``replica_status``;
+pass ``allow_reordering=True`` to override knowingly.
+
 Lag accounting: the replica reports per-table ``applied`` counts via
 the server's ``replica_status`` hook.  The *coordinator* computes the
 lag against its own routed-row counts; the replica's view of the
@@ -36,6 +45,7 @@ from __future__ import annotations
 import signal
 import threading
 import time
+import warnings
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -52,6 +62,7 @@ class ReplicaServer:
                  host: str = "127.0.0.1", port: int = 0, *,
                  poll_interval: float = 0.25,
                  fetch_limit: int = 4096,
+                 allow_reordering: bool = False,
                  **server_kwargs):
         server_kwargs.setdefault("maintenance", False)
         self.server = JsonTilesServer(data_dir, host, port,
@@ -62,8 +73,11 @@ class ReplicaServer:
         self.primary_port = primary_port
         self.poll_interval = poll_interval
         self.fetch_limit = fetch_limit
+        self.allow_reordering = allow_reordering
         #: per-table replication progress, guarded by ``_state_lock``
         self._tables: Dict[str, dict] = {}
+        #: tables refused because the primary may reorder rows
+        self._refused: Dict[str, str] = {}
         self._state_lock = threading.Lock()
         self._paused = threading.Event()
         self._stop = threading.Event()
@@ -122,6 +136,15 @@ class ReplicaServer:
             for name, table in sorted(stats.get("tables", {}).items()):
                 if "__" in name:
                     continue  # child tables are derived, not replicated
+                config = table.get("config") or {}
+                if config.get("enable_reordering") \
+                        and not self.allow_reordering:
+                    # replication and resync both assume the primary's
+                    # physical row order equals WAL order; a table that
+                    # permits partition reordering breaks that, so
+                    # following it would silently diverge
+                    self._refuse(name)
+                    continue
                 applied += self._ship_table(client, name, table)
             with self._state_lock:
                 self._last_poll = time.time()
@@ -130,6 +153,20 @@ class ReplicaServer:
         finally:
             if own:
                 client.close()
+
+    def _refuse(self, name: str) -> None:
+        message = (
+            f"refusing to replicate {name!r}: the primary extracts it "
+            f"with enable_reordering=true, so its physical row order "
+            f"can diverge from WAL order and the replica would "
+            f"silently diverge from the primary; recreate the table "
+            f"with enable_reordering=false (the cluster coordinator "
+            f"does this) or pass allow_reordering=True to override")
+        with self._state_lock:
+            fresh = name not in self._refused
+            self._refused[name] = message
+        if fresh:
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
 
     # ------------------------------------------------------------------
 
@@ -205,6 +242,7 @@ class ReplicaServer:
                 "primary": f"{self.primary_host}:{self.primary_port}",
                 "paused": self._paused.is_set(),
                 "tables": tables,
+                "refused": dict(self._refused),
                 "last_poll": self._last_poll,
                 "last_error": self._last_error,
                 "resyncs": self._resyncs,

@@ -41,20 +41,34 @@ class ServerError(ReproError):
         self.code = code
 
 
+#: commands safe to re-send after a dropped connection — re-applying
+#: them cannot change server state.  ``insert``, ``create_table`` and
+#: ``shutdown`` are never auto-retried: the original request may have
+#: been applied even though its ack was lost, and a blind re-send
+#: would double-apply it.
+_IDEMPOTENT_COMMANDS = frozenset({
+    "ping", "hello", "query", "explain", "stats", "partial_query",
+    "fetch_docs", "wal_fetch", "replica_status", "maintenance",
+    "flush", "checkpoint",
+})
+
+
 class ServerClient:
     """One blocking connection; requests are serialized per client.
 
     ``timeout`` bounds connect *and* every read, so a caller talking to
     a hung server gets ``socket.timeout`` instead of blocking forever.
-    A connection dropped mid-request (server restart) is retried once
-    after ``retry_backoff`` seconds; the retry is safe for the
-    coordinator's use (it only re-sends the request whose response was
-    never read) but can double-apply an insert whose ack was lost, so
-    callers needing exactly-once should pass ``retries=0``.
+    With ``retries`` > 0 a connection dropped mid-request (server
+    restart) is reconnected and retried after ``retry_backoff``
+    seconds, but only for idempotent commands; an ``insert`` whose ack
+    was lost is **never** re-sent automatically — it surfaces as an
+    error and the caller decides, because the server may have applied
+    it (at-most-once stays the default ingest semantics).  The default
+    is ``retries=0``: opt into reconnects at read-mostly call sites.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7617,
-                 timeout: Optional[float] = 60.0, retries: int = 1,
+                 timeout: Optional[float] = 60.0, retries: int = 0,
                  retry_backoff: float = 0.2):
         self.host = host
         self.port = port
@@ -87,7 +101,9 @@ class ServerClient:
                 f"request of {len(payload)} bytes exceeds the protocol "
                 f"frame limit of {protocol.MAX_MESSAGE_BYTES} bytes; "
                 f"split the batch", code="protocol")
-        attempts = self.retries + 1
+        # never auto-retry a command whose re-send could double-apply
+        attempts = (self.retries + 1
+                    if command in _IDEMPOTENT_COMMANDS else 1)
         for attempt in range(attempts):
             try:
                 self._socket.sendall(payload)

@@ -689,7 +689,10 @@ class JsonTilesServer:
         try:
             documents, next_total = await self._loop.run_in_executor(
                 self._io_pool, wal.fetch, from_total, limit)
-        except ReproError:
+        except (ReproError, OSError):
+            # pruned offset, a mid-stream gap, or an archive file that
+            # vanished under the read — all mean the same thing to the
+            # replica: this offset cannot be served, resync instead
             return protocol.ok_response(
                 request_id, resync=True, docs=[], next=from_total,
                 total=wal.total_records())

@@ -189,8 +189,14 @@ class WriteAheadLog:
             if self.archive and self.record_count:
                 archive_dir = self.path.parent / "archive"
                 archive_dir.mkdir(exist_ok=True)
-                shutil.copy2(self.path, archive_dir /
-                             f"{self.path.stem}.{self.epoch:08d}.wal")
+                final = archive_dir / \
+                    f"{self.path.stem}.{self.epoch:08d}.wal"
+                # copy to a .tmp name then rename, so a concurrent
+                # ``fetch`` never observes a half-copied archive (the
+                # .tmp suffix also keeps it out of the archive glob)
+                temp_archive = final.with_name(final.name + ".tmp")
+                shutil.copy2(self.path, temp_archive)
+                os.replace(temp_archive, final)
                 self._prune_archives(archive_dir)
             temp = self.path.with_name(self.path.name + ".tmp")
             with temp.open("wb") as handle:
@@ -207,9 +213,12 @@ class WriteAheadLog:
 
     def _prune_archives(self, archive_dir: Path) -> None:
         archives = sorted(archive_dir.glob(f"{self.path.stem}.*.wal"))
-        for stale in archives[:-self.archive_keep]:
+        stale = archives[:-self.archive_keep]
+        # a crash between copy and rename can strand a .tmp copy
+        stale += list(archive_dir.glob(f"{self.path.stem}.*.wal.tmp"))
+        for path in stale:
             try:
-                stale.unlink()
+                path.unlink()
             except OSError:  # pragma: no cover - concurrent prune
                 pass
 
@@ -220,8 +229,10 @@ class WriteAheadLog:
         """Records starting at cumulative offset *from_total*, reading
         archived segments when the offset predates the live one.
         Returns ``(documents, next_total)``.  Raises
-        :class:`StorageError` when the offset has been pruned — the
-        caller must resync from a full snapshot instead."""
+        :class:`StorageError` when the offset has been pruned — or when
+        a concurrent prune opened a gap mid-assembly — because the
+        returned stream must be contiguous; the caller resyncs from the
+        primary's documents instead."""
         with self._lock:
             base = self.base
             data = self.path.read_bytes()
@@ -230,21 +241,29 @@ class WriteAheadLog:
             archive_dir = self.path.parent / "archive"
             for archived in sorted(archive_dir.glob(
                     f"{self.path.stem}.*.wal")):
-                a_epoch, a_base, _valid, payloads = _scan(
-                    archived.read_bytes(), archived)
+                try:
+                    raw = archived.read_bytes()
+                except OSError:
+                    continue  # pruned between glob and read
+                _a_epoch, a_base, _valid, payloads = _scan(raw, archived)
                 if a_base + len(payloads) > from_total:
                     segments.append((a_base, payloads))
-            if not segments or segments[0][0] > from_total:
-                raise StorageError(
-                    f"WAL records before offset {base} of "
-                    f"{self.path.stem} were pruned; resync required")
         _epoch, _base, _valid, live = _scan(data, self.path)
         segments.append((base, live))
         documents: List[object] = []
         for seg_base, payloads in segments:
             if len(documents) >= limit:
                 break
-            start = max(0, from_total + len(documents) - seg_base)
+            needed = from_total + len(documents)
+            if seg_base > needed:
+                # a gap: the records at ``needed`` were pruned (or an
+                # archive vanished mid-read) — never paper over it by
+                # skipping ahead, the stream must stay contiguous
+                raise StorageError(
+                    f"WAL records at offset {needed} of "
+                    f"{self.path.stem} are no longer available; "
+                    f"resync required")
+            start = needed - seg_base
             for payload in payloads[start:start + (limit - len(documents))]:
                 documents.append(json.loads(payload.decode("utf-8")))
         return documents, from_total + len(documents)

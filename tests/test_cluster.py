@@ -131,6 +131,32 @@ class TestWalShipping:
         assert [doc["i"] for doc in docs] == [8, 9, 10, 11]
         wal.close()
 
+    def test_truncate_archives_atomically(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "t.wal", sync=False)
+        for epoch in range(3):
+            wal.append_many([{"i": epoch * 4 + i} for i in range(4)])
+            wal.truncate()
+        archive_dir = tmp_path / "archive"
+        # only fully renamed archives exist — a reader can never see a
+        # half-copied .tmp through the fetch glob
+        assert sorted(p.name for p in archive_dir.iterdir()) == [
+            "t.00000001.wal", "t.00000002.wal", "t.00000003.wal"]
+        wal.close()
+
+    def test_fetch_refuses_non_contiguous_stream(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "t.wal", sync=False)
+        for epoch in range(3):
+            wal.append_many([{"i": epoch * 4 + i} for i in range(4)])
+            wal.truncate()
+        # simulate a prune racing the fetch: the middle archive is gone
+        (tmp_path / "archive" / "t.00000002.wal").unlink()
+        with pytest.raises(StorageError, match="resync"):
+            wal.fetch(0, limit=100)
+        # offsets after the gap still serve fine
+        docs, _ = wal.fetch(8, limit=100)
+        assert [doc["i"] for doc in docs] == [8, 9, 10, 11]
+        wal.close()
+
     def test_server_wal_fetch_resync_flag(self, tmp_path):
         server = JsonTilesServer(tmp_path / "data", wal_sync=False)
         server.start_in_thread()
@@ -404,6 +430,92 @@ class TestReplicaAndFailures:
             replica.stop_in_thread()
             shard.stop_in_thread()
 
+    def test_partial_insert_failure_degrades_then_recovers(self, tmp_path):
+        """A failed insert fan-out marks the table degraded; the table
+        refuses traffic until per-shard counts re-verify against the
+        canonical block layout, then heals automatically."""
+        shards = [JsonTilesServer(tmp_path / f"shard{index}",
+                                  wal_sync=False,
+                                  role="shard").start_in_thread()
+                  for index in range(2)]
+        ports = [shard.port for shard in shards]
+        topology = ClusterTopology.from_dict({
+            "shards": [{"host": "127.0.0.1", "port": port}
+                       for port in ports]})
+        coordinator = ClusterCoordinator(topology, port=0,
+                                         timeout=5.0).start_in_thread()
+        try:
+            with ServerClient(port=coordinator.port) as client:
+                client.create_table("events", "tiles", TINY)
+                entry = coordinator.tables["events"]
+                # rows 0..31 are block 0 -> routed to shard 0 only
+                shards[0].stop_in_thread(checkpoint=False)
+                with pytest.raises(ServerError) as excinfo:
+                    client.insert_many("events",
+                                       [{"i": i} for i in range(32)])
+                assert excinfo.value.code == "unavailable"
+                assert entry["degraded"] is True
+                # while the shard is down, reconciliation cannot run
+                # and queries must not serve the corrupt layout
+                with pytest.raises(ServerError):
+                    client.query("select count(*) as n from events e")
+                assert entry["degraded"] is True
+                # the failed batch never reached the dead shard, so
+                # after a restart the counts re-verify and traffic flows
+                shards[0] = JsonTilesServer(
+                    tmp_path / "shard0", wal_sync=False, role="shard",
+                    port=ports[0]).start_in_thread()
+                assert client.query(
+                    "select count(*) as n from events e").scalar() == 0
+                assert entry["degraded"] is False
+                client.insert_many("events", [{"i": i} for i in range(64)])
+                assert client.query(
+                    "select count(*) as n from events e").scalar() == 64
+                assert client.stats()["tables"]["events"]["degraded"] \
+                    is False
+        finally:
+            coordinator.stop_in_thread()
+            for shard in shards:
+                shard.stop_in_thread()
+
+    def test_replica_refuses_reordering_primary(self, tmp_path):
+        """Replication assumes physical row order == WAL order, which
+        breaks when the primary may reorder rows at seal time — the
+        replica must refuse such tables unless explicitly overridden."""
+        primary = JsonTilesServer(tmp_path / "primary",
+                                  wal_sync=False).start_in_thread()
+        try:
+            with ServerClient(port=primary.port) as client:
+                # TINY leaves enable_reordering at its default (True)
+                client.create_table("events", "tiles", TINY)
+                client.insert_many("events", [{"i": i} for i in range(10)])
+            replica = ReplicaServer(tmp_path / "replica", "127.0.0.1",
+                                    primary.port, wal_sync=False)
+            replica.server.start_in_thread()
+            try:
+                with pytest.warns(RuntimeWarning,
+                                  match="enable_reordering"):
+                    assert replica.poll_once() == 0
+                status = replica._status()
+                assert "events" in status["refused"]
+                assert "events" not in status["tables"]
+            finally:
+                replica.server.stop_in_thread()
+            # explicit override replicates anyway
+            permissive = ReplicaServer(tmp_path / "replica2", "127.0.0.1",
+                                       primary.port, wal_sync=False,
+                                       allow_reordering=True)
+            permissive.server.start_in_thread()
+            try:
+                assert permissive.poll_once() == 10
+                status = permissive._status()
+                assert status["refused"] == {}
+                assert status["tables"]["events"]["applied"] == 10
+            finally:
+                permissive.server.stop_in_thread()
+        finally:
+            primary.stop_in_thread()
+
     def test_dead_shard_surfaces_unavailable(self, tmp_path):
         shards = [JsonTilesServer(tmp_path / f"shard{index}",
                                   wal_sync=False,
@@ -530,3 +642,110 @@ class TestProtocolLimits:
         finally:
             client.close()
             server.stop_in_thread()
+
+    def test_client_never_retries_insert(self, tmp_path):
+        """Even with retries enabled, an insert whose connection died
+        is never re-sent (it may have been applied without an ack);
+        idempotent commands still reconnect transparently."""
+        server = JsonTilesServer(tmp_path / "data", wal_sync=False)
+        server.start_in_thread()
+        port = server.port
+        client = ServerClient(port=port, timeout=10.0, retries=1,
+                              retry_backoff=0.3)
+        client.create_table("events")
+        client.insert("events", {"i": 0})
+        server.stop_in_thread()
+        server = JsonTilesServer(tmp_path / "data", wal_sync=False,
+                                 port=port)
+        server.start_in_thread()
+        try:
+            with pytest.raises((ServerError, OSError)):
+                client.insert("events", {"i": 1})
+            # the idempotent ping reconnects and the session continues
+            assert client.ping() == "pong"
+            assert client.query(
+                "select count(*) as n from events e").scalar() == 1
+        finally:
+            client.close()
+            server.stop_in_thread()
+
+
+class TestBackendRetrySafety:
+    """BackendLink must only re-send idempotent commands after a
+    dropped connection — a re-sent insert could double-apply."""
+
+    @staticmethod
+    def _flaky_peer(drops):
+        """A fake backend: reads one request per connection; while
+        ``drops[0] > 0`` it closes without answering, else answers ok.
+        Returns (listener, port, received, stop)."""
+        received = []
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        stop = threading.Event()
+
+        def peer():
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                with conn:
+                    line = conn.makefile("rb").readline()
+                    if not line:
+                        continue
+                    request = json.loads(line)
+                    received.append(request)
+                    if drops[0] > 0:
+                        drops[0] -= 1
+                        continue  # close without a response
+                    conn.sendall(json.dumps(
+                        {"ok": True, "id": request["id"],
+                         "tables": {}}).encode() + b"\n")
+
+        thread = threading.Thread(target=peer, daemon=True)
+        thread.start()
+        return listener, port, received, stop
+
+    def _call(self, port, command, **fields):
+        import asyncio
+
+        from repro.cluster.coordinator import BackendLink
+        from repro.cluster.topology import Endpoint
+
+        async def run():
+            link = BackendLink(Endpoint("127.0.0.1", port), timeout=5.0)
+            try:
+                return await link.call(command, **fields)
+            finally:
+                await link._close()
+
+        return asyncio.run(run())
+
+    def test_idempotent_command_is_resent(self):
+        drops = [1]
+        listener, port, received, stop = self._flaky_peer(drops)
+        try:
+            response = self._call(port, "stats")
+            assert response["ok"] is True
+            assert [r["cmd"] for r in received] == ["stats", "stats"]
+        finally:
+            stop.set()
+            listener.close()
+
+    def test_insert_is_never_resent(self):
+        from repro.cluster.coordinator import BackendError
+
+        drops = [1]
+        listener, port, received, stop = self._flaky_peer(drops)
+        try:
+            with pytest.raises(BackendError) as excinfo:
+                self._call(port, "insert", table="events",
+                           docs=[{"i": 1}])
+            assert excinfo.value.code == "unavailable"
+            assert "unacknowledged" in str(excinfo.value)
+            # exactly one request line ever reached the backend
+            assert [r["cmd"] for r in received] == ["insert"]
+        finally:
+            stop.set()
+            listener.close()
