@@ -1,0 +1,135 @@
+"""Vectorized batch kernels vs the per-tuple reference paths.
+
+Times the three gated kernels — group-key factorization (multi-key
+GROUP BY), the sorted-code join probe (composite generic keys) and the
+null-aware lexsort (multi-key ORDER BY) — on a 100k-row synthetic
+relation, with ``enable_kernels`` on vs off.  Every timed query is
+also checked bit-identical between the two modes, and EXPLAIN ANALYZE
+counters prove the kernel actually ran (``kernel_rows`` = probe/input
+rows, ``fallback_rows`` = 0).
+
+Two join flavours are reported: integer composite keys factorize at C
+speed (the headline case), string keys pay Python-level comparisons
+inside ``np.unique`` on object arrays and win by a smaller margin —
+both stay bit-identical.
+"""
+
+import struct
+import time
+
+from repro import Database, QueryOptions, StorageFormat
+from repro.tiles import ExtractionConfig
+
+CONFIG = ExtractionConfig(tile_size=4096, partition_size=8)
+
+NUM_ROWS = 100_000
+BATCH_ROWS = 4096
+
+STATES = ["AZ", "CA", "NV", "OR", "WA", "TX", "NY", "FL"]
+
+GROUP_BY = (
+    "select t.data->>'g'::int as g, t.data->>'w' as w, count(*) as n, "
+    "sum(t.data->>'v'::int) as s, min(t.data->>'f'::float) as lo "
+    "from t t group by t.data->>'g'::int, t.data->>'w' order by g, w")
+
+JOIN_INT = (
+    "select count(*) as n, sum(t.data->>'v'::int) as s from t t, u u "
+    "where t.data->>'a'::int = u.data->>'a'::int "
+    "and t.data->>'b'::int = u.data->>'b'::int")
+
+JOIN_STR = (
+    "select count(*) as n, sum(t.data->>'v'::int) as s from t t, u u "
+    "where t.data->>'j' = u.data->>'j' and t.data->>'w' = u.data->>'w'")
+
+ORDER_BY = (
+    "select t.data->>'g'::int as g, t.data->>'f'::float as f "
+    "from t t order by g, f desc")
+
+
+def _load(num_rows=NUM_ROWS):
+    rows = [{"g": i % 97, "w": STATES[i % 8], "a": i % 1000,
+             "b": (i * 7) % 8, "j": f"u{i % 1000}",
+             "v": i % 10_000, "f": (i % 7919) * 0.25}
+            for i in range(num_rows)]
+    db = Database(StorageFormat.TILES, CONFIG)
+    db.load_table("t", rows)
+    build = [{"a": i % 1000, "b": i % 8, "j": f"u{i % 1000}",
+              "w": STATES[i % 8], "seg": i % 16} for i in range(2000)]
+    db.load_table("u", build)
+    return db
+
+
+def _bits(value):
+    if isinstance(value, float):
+        return ("f", struct.pack("<d", value))
+    return (type(value).__name__, value)
+
+
+def _run(db, sql, enable_kernels, repeats=3):
+    best, result = float("inf"), None
+    options = QueryOptions(enable_kernels=enable_kernels,
+                           batch_rows=BATCH_ROWS)
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = db.sql(sql, options)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _compare(db, sql, repeats=3):
+    on_s, on = _run(db, sql, True, repeats)
+    off_s, off = _run(db, sql, False, repeats)
+    assert on.columns == off.columns
+    assert len(on.rows) == len(off.rows)
+    for row_on, row_off in zip(on.rows, off.rows):
+        assert [_bits(v) for v in row_on] == [_bits(v) for v in row_off]
+    assert on.counters.kernel_rows >= NUM_ROWS
+    assert on.counters.fallback_rows == 0
+    assert off.counters.kernel_rows == 0
+    return on_s, off_s
+
+
+def test_kernels_sweep(benchmark, report):
+    db = _load()
+    cases = [
+        ("group by (int, str) x 5 aggs", GROUP_BY),
+        ("join probe (int, int)", JOIN_INT),
+        ("join probe (str, str)", JOIN_STR),
+        ("order by g, f desc", ORDER_BY),
+    ]
+    rows, speedups = [], {}
+    for label, sql in cases:
+        on_s, off_s = _compare(db, sql)
+        speedups[label] = off_s / on_s
+        rows.append([label, f"{off_s * 1000:.0f}", f"{on_s * 1000:.0f}",
+                     f"{off_s / on_s:.1f}x"])
+    benchmark.pedantic(lambda: _run(db, GROUP_BY, True, 1),
+                       rounds=3, iterations=1)
+
+    out = report("kernels", "Batch kernels vs per-tuple loops "
+                            f"({NUM_ROWS} rows, batch {BATCH_ROWS})")
+    out.note("min of 3 runs; results bit-identical in every case, "
+             "kernel_rows >= row count, fallback_rows = 0")
+    out.table(["query", "per-tuple ms", "kernel ms", "speedup"], rows)
+    out.emit()
+
+    # headline floors (generous for noisy CI machines; committed
+    # results show ~6x group-by and ~12x int join)
+    assert speedups["group by (int, str) x 5 aggs"] >= 2.0
+    assert speedups["join probe (int, int)"] >= 3.0
+    assert speedups["order by g, f desc"] >= 2.0
+    assert speedups["join probe (str, str)"] >= 1.2
+
+
+def test_kernels_smoke(report):
+    """CI smoke: small dataset, identity + counter checks only."""
+    db = _load(2000)
+    for sql in (GROUP_BY, JOIN_INT, JOIN_STR, ORDER_BY):
+        on_s, on = _run(db, sql, True, 1)
+        off_s, off = _run(db, sql, False, 1)
+        assert on.columns == off.columns
+        for row_on, row_off in zip(on.rows, off.rows):
+            assert [_bits(v) for v in row_on] == \
+                [_bits(v) for v in row_off]
+        assert on.counters.kernel_rows > 0
+        assert off.counters.kernel_rows == 0

@@ -166,6 +166,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "path instead of the single-pass "
                              "multi-path shredder (ablation; also "
                              "REPRO_MULTIPATH_SHRED=0)")
+    parser.add_argument("--no-kernels", action="store_true",
+                        help="disable the vectorized batch kernels "
+                             "(group-by/join/sort) and run the "
+                             "per-tuple reference paths instead "
+                             "(ablation; also REPRO_KERNELS=0)")
     parser.add_argument("--checkpoint-interval", type=float, default=60.0,
                         metavar="SECONDS",
                         help="periodic checkpoint cadence (0 disables)")
@@ -212,6 +217,7 @@ def serve_main(argv: List[str], out, role: str = "server") -> int:
             cache_mb=args.cache_mb,
             memory_mb=args.memory_mb,
             multipath_shred=not args.no_shred,
+            enable_kernels=not args.no_kernels,
             checkpoint_interval=args.checkpoint_interval or None,
             maintenance=args.maintenance,
             maintenance_config=maintenance_config,

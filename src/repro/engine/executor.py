@@ -75,4 +75,7 @@ def execute_block(block: QueryBlock,
         counters.merge(scan.counters)
         # per-table running totals for the server's `stats` command
         scan.relation.record_scan(scan.counters)
+    for kernel_op in planner.kernel_ops:
+        # joins/aggregates/sorts report kernel_rows / fallback_rows
+        counters.merge(kernel_op.counters)
     return QueryResult(columns, rows, counters, planner.last_join_order)

@@ -45,21 +45,24 @@ def _describe(node, analyze: bool = False) -> str:
     if isinstance(node, op.HashJoinOp):
         return (f"HashJoin [{node.kind.value}] on "
                 f"{len(node.left_keys)} key(s)"
-                + (", residual" if node.residual is not None else ""))
+                + (", residual" if node.residual is not None else "")
+                + _kernel_stats(node, analyze))
     if isinstance(node, op.HashAggregateOp):
         keys = [name for name, _ in node.keys]
         aggs = [f"{spec.func}->{spec.name}" for spec in node.aggregates]
-        return f"HashAggregate keys={keys} aggs={aggs}"
+        return f"HashAggregate keys={keys} aggs={aggs}" \
+            + _kernel_stats(node, analyze)
     if isinstance(node, op.FilterOp):
         return "Filter"
     if isinstance(node, op.ProjectOp):
         return f"Project {[name for name, _ in node.outputs]}"
     if isinstance(node, op.SortOp):
         keys = [f"{k.name}{' desc' if k.descending else ''}" for k in node.keys]
-        return f"Sort by {keys}"
+        return f"Sort by {keys}" + _kernel_stats(node, analyze)
     if isinstance(node, op.TopKOp):
         keys = [f"{k.name}{' desc' if k.descending else ''}" for k in node.keys]
-        return f"TopK limit={node.limit} by {keys}"
+        return f"TopK limit={node.limit} by {keys}" \
+            + _kernel_stats(node, analyze)
     if isinstance(node, op.LimitOp):
         return f"Limit {node.limit}"
     if isinstance(node, op.ChainOp):
@@ -67,6 +70,15 @@ def _describe(node, analyze: bool = False) -> str:
     if isinstance(node, op.BatchSource):
         return "BatchSource"
     return type(node).__name__
+
+
+def _kernel_stats(node, analyze: bool) -> str:
+    """Batch-kernel coverage annotation for EXPLAIN ANALYZE."""
+    if not analyze:
+        return ""
+    counters = node.counters
+    return (f"  [kernel_rows={counters.kernel_rows}, "
+            f"fallback_rows={counters.fallback_rows}]")
 
 
 def _children(node):

@@ -28,7 +28,10 @@ import numpy as np
 from repro.core.types import ColumnType
 from repro.engine.batch import Batch, concat_batches
 from repro.engine.expressions import Expression
+from repro.engine.kernels import (GroupByKernel, JoinCodeIndex,
+                                  lexsort_indices, masked_sum)
 from repro.engine.morsels import run_ordered
+from repro.engine.scan import ScanCounters
 from repro.errors import ExecutionError
 from repro.storage.column import ColumnVector
 
@@ -151,7 +154,8 @@ class HashJoinOp(Operator):
                  right_keys: Sequence[Expression],
                  kind: JoinKind = JoinKind.INNER,
                  residual: Optional[Expression] = None,
-                 right_schema: Optional[Dict[str, ColumnType]] = None):
+                 right_schema: Optional[Dict[str, ColumnType]] = None,
+                 enable_kernels: bool = False):
         if len(left_keys) != len(right_keys) or not left_keys:
             raise ExecutionError("join needs matching, non-empty key lists")
         self.left = left
@@ -163,6 +167,10 @@ class HashJoinOp(Operator):
         #: column name -> type of the build side, needed to pad NULLs
         #: for LEFT joins when the build side is empty
         self.right_schema = right_schema
+        self.enable_kernels = enable_kernels
+        #: kernel_rows / fallback_rows for EXPLAIN ANALYZE (merged into
+        #: the query result's counters by the executor)
+        self.counters = ScanCounters()
 
     # -- helpers ---------------------------------------------------------
 
@@ -174,7 +182,9 @@ class HashJoinOp(Operator):
         build = concat_batches(list(self.right.batches()))
         if build is None and self.kind in (JoinKind.INNER, JoinKind.SEMI):
             return
-        build_index = _BuildIndex(build, self.right_keys) if build else None
+        build_index = _BuildIndex(build, self.right_keys,
+                                  enable_kernels=self.enable_kernels,
+                                  counters=self.counters) if build else None
 
         for probe in self.left.batches():
             if probe.length == 0:
@@ -228,11 +238,26 @@ class HashJoinOp(Operator):
 
 
 class _BuildIndex:
-    """Hash index over the build side of a join."""
+    """Hash index over the build side of a join.
 
-    def __init__(self, batch: Batch, key_exprs: Sequence[Expression]):
+    Three layouts share one ``lookup`` contract: the original sorted
+    single-int64 fast path, the :class:`~repro.engine.kernels.
+    JoinCodeIndex` batch kernel for composite/string keys (gated on
+    ``enable_kernels``), and the per-tuple dict — which doubles as the
+    fallback whenever a kernel declines a probe batch, and as the
+    differential-test oracle.
+    """
+
+    def __init__(self, batch: Batch, key_exprs: Sequence[Expression],
+                 enable_kernels: bool = False,
+                 counters: Optional[ScanCounters] = None):
         self.batch = batch
+        self.counters = counters
+        self.enable_kernels = enable_kernels
         vectors = [expr.evaluate(batch) for expr in key_exprs]
+        self._vectors = vectors
+        self._table: Optional[Dict[tuple, List[int]]] = None
+        self._kernel: Optional[JoinCodeIndex] = None
         self._single_int = (
             len(vectors) == 1 and vectors[0].data.dtype != object
         )
@@ -244,15 +269,21 @@ class _BuildIndex:
             order = np.argsort(keys, kind="stable")
             self._sorted_keys = keys[order]
             self._sorted_positions = self._valid_positions[order]
-        else:
-            self._table: Dict[tuple, List[int]] = {}
-            masks = [vector.null_mask for vector in vectors]
-            datas = [vector.data for vector in vectors]
-            for row in range(batch.length):
-                if any(mask[row] for mask in masks):
-                    continue  # NULL keys never match
-                key = tuple(data[row] for data in datas)
-                self._table.setdefault(key, []).append(row)
+            return
+        if enable_kernels:
+            self._kernel = JoinCodeIndex.build(vectors)
+        if self._kernel is None:
+            self._build_table()
+
+    def _build_table(self) -> None:
+        self._table = {}
+        masks = [vector.null_mask for vector in self._vectors]
+        datas = [vector.data for vector in self._vectors]
+        for row in range(self.batch.length):
+            if any(mask[row] for mask in masks):
+                continue  # NULL keys never match
+            key = tuple(data[row] for data in datas)
+            self._table.setdefault(key, []).append(row)
 
     def lookup(self, vectors: Sequence[ColumnVector]):
         """Return (probe_idx, build_idx, per-probe match counts)."""
@@ -276,6 +307,14 @@ class _BuildIndex:
             )
             build_idx = self._sorted_positions[starts + within]
             return probe_idx, build_idx, counts
+        if self._kernel is not None:
+            result = self._kernel.probe(vectors)
+            if result is not None:
+                if self.counters is not None:
+                    self.counters.kernel_rows += length
+                return result
+        if self.enable_kernels and self.counters is not None:
+            self.counters.fallback_rows += length
         return self._lookup_generic(vectors)
 
     def _lookup_generic(self, vectors: Sequence[ColumnVector]):
@@ -285,13 +324,20 @@ class _BuildIndex:
         probe_idx: List[int] = []
         build_idx: List[int] = []
         counts = np.zeros(length, dtype=np.int64)
-        table = getattr(self, "_table", None)
+        table = self._table
         if table is None:
-            # single-int index probed with object keys
-            table = {}
-            for position, key in zip(self._sorted_positions, self._sorted_keys):
-                table.setdefault((key,), []).append(int(position))
-            self._table = table
+            if self._single_int:
+                # single-int index probed with object keys
+                table = {}
+                for position, key in zip(self._sorted_positions,
+                                         self._sorted_keys):
+                    table.setdefault((key,), []).append(int(position))
+                self._table = table
+            else:
+                # a kernel-built index hit a probe batch it could not
+                # encode: materialize the classic dict lazily
+                self._build_table()
+                table = self._table
         for row in range(length):
             if any(mask[row] for mask in masks):
                 continue
@@ -359,10 +405,15 @@ class HashAggregateOp(Operator):
 
     def __init__(self, child: Operator,
                  keys: Sequence[Tuple[str, Expression]],
-                 aggregates: Sequence[AggregateSpec]):
+                 aggregates: Sequence[AggregateSpec],
+                 enable_kernels: bool = False):
         self.child = child
         self.keys = list(keys)
         self.aggregates = list(aggregates)
+        self.enable_kernels = enable_kernels
+        #: kernel_rows / fallback_rows for EXPLAIN ANALYZE (merged into
+        #: the query result's counters by the executor)
+        self.counters = ScanCounters()
 
     def batches(self) -> Iterator[Batch]:
         if not self.keys:
@@ -374,7 +425,15 @@ class HashAggregateOp(Operator):
         # generic path (composite/string keys, count_distinct per
         # group): per-row float accumulation is order-sensitive, so the
         # coordinator aggregates serially — the scan underneath still
-        # produces its batches in parallel, in order
+        # produces its batches in parallel, in order.  With kernels
+        # enabled, GroupByKernel folds whole batches vectorized; a
+        # declined batch spills the kernel state to the classic dict
+        # and the per-tuple loop continues bit-identically.
+        kernel: Optional[GroupByKernel] = None
+        if self.enable_kernels:
+            kernel = GroupByKernel(self.aggregates)
+            if not kernel.supported:
+                kernel = None
         groups: Dict[tuple, List] = {}
         key_types: Optional[List[ColumnType]] = None
         for batch in self.child.batches():
@@ -385,6 +444,14 @@ class HashAggregateOp(Operator):
                 spec.expr.evaluate(batch) if spec.expr is not None else None
                 for spec in self.aggregates
             ]
+            if kernel is not None:
+                if kernel.update(key_vectors, agg_vectors, batch.length):
+                    self.counters.kernel_rows += batch.length
+                    continue
+                groups = kernel.spill()
+                kernel = None
+            if self.enable_kernels:
+                self.counters.fallback_rows += batch.length
             for row in range(batch.length):
                 key = tuple(
                     None if vector.null_mask[row] else _scalar(vector, row)
@@ -396,6 +463,8 @@ class HashAggregateOp(Operator):
                     groups[key] = state
                 for slot, spec in enumerate(self.aggregates):
                     _update_state(state[slot], spec, agg_vectors[slot], row)
+        if kernel is not None:
+            groups = kernel.spill()
         if not groups and not self.keys:
             groups[()] = [_new_state(spec) for spec in self.aggregates]
         yield self._finish(groups, key_types)
@@ -493,18 +562,14 @@ class HashAggregateOp(Operator):
                 else:
                     state[0].update(np.unique(vector.data[valid]).tolist())
             elif spec.func == "sum":
-                state[0] += vector.data[valid].sum().item() \
-                    if vector.data.dtype != object \
-                    else sum(vector.data[valid].tolist())
+                state[0] += masked_sum(vector.data, valid)
             elif spec.func == "avg":
-                state[0] += vector.data[valid].sum().item() \
-                    if vector.data.dtype != object \
-                    else sum(vector.data[valid].tolist())
+                state[0] += masked_sum(vector.data, valid)
                 state[1] += count
             elif spec.func in ("min", "max"):
                 if vector.data.dtype == object:
                     extreme = (min if spec.func == "min" else max)(
-                        vector.data[valid].tolist())
+                        vector.data[valid])
                 else:
                     reduce = (np.min if spec.func == "min" else np.max)
                     extreme = reduce(vector.data[valid]).item()
@@ -823,14 +888,24 @@ def _make_sort_key(batch: Batch, keys: Sequence[SortKey]):
 
 
 class SortOp(Operator):
-    def __init__(self, child: Operator, keys: Sequence[SortKey]):
+    def __init__(self, child: Operator, keys: Sequence[SortKey],
+                 enable_kernels: bool = False):
         self.child = child
         self.keys = list(keys)
+        self.enable_kernels = enable_kernels
+        self.counters = ScanCounters()
 
     def batches(self) -> Iterator[Batch]:
         batch = concat_batches(list(self.child.batches()))
         if batch is None:
             return
+        if self.enable_kernels:
+            order = lexsort_indices(batch, self.keys)
+            if order is not None:
+                self.counters.kernel_rows += batch.length
+                yield batch.take(order)
+                return
+            self.counters.fallback_rows += batch.length
         indices = list(range(batch.length))
         indices.sort(key=_make_sort_key(batch, self.keys))
         yield batch.take(np.array(indices, dtype=np.int64))
@@ -840,10 +915,13 @@ class TopKOp(Operator):
     """``ORDER BY ... LIMIT k`` without a full sort: a bounded heap
     selects the k smallest rows in O(n log k)."""
 
-    def __init__(self, child: Operator, keys: Sequence[SortKey], limit: int):
+    def __init__(self, child: Operator, keys: Sequence[SortKey], limit: int,
+                 enable_kernels: bool = False):
         self.child = child
         self.keys = list(keys)
         self.limit = limit
+        self.enable_kernels = enable_kernels
+        self.counters = ScanCounters()
 
     def batches(self) -> Iterator[Batch]:
         source = _parallel_source(self.child)
@@ -853,6 +931,16 @@ class TopKOp(Operator):
             batch = concat_batches(list(self.child.batches()))
         if batch is None:
             return
+        if self.enable_kernels:
+            # heapq.nsmallest is documented equivalent to
+            # sorted(...)[:k] (stable), so the lexsort prefix selects
+            # the identical rows in the identical order
+            order = lexsort_indices(batch, self.keys)
+            if order is not None:
+                self.counters.kernel_rows += batch.length
+                yield batch.take(order[:self.limit])
+                return
+            self.counters.fallback_rows += batch.length
         sort_value = _make_sort_key(batch, self.keys)
         indices = heapq.nsmallest(self.limit, range(batch.length),
                                   key=sort_value)
@@ -873,6 +961,12 @@ class TopKOp(Operator):
                 return None
             if batch.length <= self.limit:
                 return batch
+            if self.enable_kernels:
+                # no counter updates here: tasks run on pool workers
+                # and ScanCounters increments are not atomic
+                order = lexsort_indices(batch, self.keys)
+                if order is not None:
+                    return batch.take(np.sort(order[:self.limit]))
             local = _make_sort_key(batch, self.keys)
             picks = heapq.nsmallest(self.limit, range(batch.length),
                                     key=local)

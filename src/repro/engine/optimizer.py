@@ -68,8 +68,17 @@ class Planner:
     def __init__(self, options: Optional[QueryOptions] = None):
         self.options = options or QueryOptions()
         self.scans: List[TableScan] = []
+        #: kernel-gated operators (joins, aggregates, sorts) planned for
+        #: this query; the executor merges their kernel_rows /
+        #: fallback_rows counters into the result, mirroring self.scans
+        self.kernel_ops: List[Operator] = []
         #: filled by plan_block for introspection / tests
         self.last_join_order: List[str] = []
+
+    def _kernel_op(self, op: Operator) -> Operator:
+        """Register a kernel-capable operator for counter collection."""
+        self.kernel_ops.append(op)
+        return op
 
     # ------------------------------------------------------------------
 
@@ -90,24 +99,30 @@ class Planner:
             left_keys = [outer for outer, _inner in spec.keys]
             right_keys = [inner for _outer, inner in spec.keys]
             right_schema = self._source_schema(spec.source)
-            tree = HashJoinOp(tree, right_plan, left_keys, right_keys,
-                              JoinKind.LEFT, residual=spec.residual,
-                              right_schema=right_schema)
+            tree = self._kernel_op(HashJoinOp(
+                tree, right_plan, left_keys, right_keys,
+                JoinKind.LEFT, residual=spec.residual,
+                right_schema=right_schema,
+                enable_kernels=self.options.enable_kernels))
 
         for residual in residuals:
             tree = FilterOp(tree, residual)
 
         for subquery in block.subquery_filters:
             inner = self.plan_block(subquery.block, raw=subquery.raw)
-            tree = HashJoinOp(tree, inner, subquery.outer_keys,
-                              subquery.inner_keys, subquery.kind,
-                              residual=subquery.residual)
+            tree = self._kernel_op(HashJoinOp(
+                tree, inner, subquery.outer_keys,
+                subquery.inner_keys, subquery.kind,
+                residual=subquery.residual,
+                enable_kernels=self.options.enable_kernels))
 
         if raw:
             return tree
 
         if block.is_aggregated:
-            tree = HashAggregateOp(tree, block.group_keys, block.aggregates)
+            tree = self._kernel_op(HashAggregateOp(
+                tree, block.group_keys, block.aggregates,
+                enable_kernels=self.options.enable_kernels))
             if block.having is not None:
                 tree = FilterOp(tree, block.having)
         if block.select:
@@ -125,9 +140,13 @@ class Planner:
                 branches.append(ProjectOp(sub, renames))
             tree = ChainOp(branches)
         if block.order_by and block.limit is not None:
-            tree = TopKOp(tree, block.order_by, block.limit)
+            tree = self._kernel_op(TopKOp(
+                tree, block.order_by, block.limit,
+                enable_kernels=self.options.enable_kernels))
         elif block.order_by:
-            tree = SortOp(tree, block.order_by)
+            tree = self._kernel_op(SortOp(
+                tree, block.order_by,
+                enable_kernels=self.options.enable_kernels))
         elif block.limit is not None:
             tree = LimitOp(tree, block.limit)
         return tree
@@ -144,6 +163,7 @@ class Planner:
                 sub_planner = Planner(self.options)
                 result = sub_planner.plan_block(expr.block).materialize()
                 self.scans.extend(sub_planner.scans)
+                self.kernel_ops.extend(sub_planner.kernel_ops)
                 if result is None or result.length == 0:
                     value = None
                 else:
@@ -466,9 +486,13 @@ class Planner:
             # stays small.
             right_card = planned[alias].cardinality
             if right_card > tree_card * 4:
-                tree = HashJoinOp(right_plan, tree, right_keys, left_keys)
+                tree = self._kernel_op(HashJoinOp(
+                    right_plan, tree, right_keys, left_keys,
+                    enable_kernels=self.options.enable_kernels))
             else:
-                tree = HashJoinOp(tree, right_plan, left_keys, right_keys)
+                tree = self._kernel_op(HashJoinOp(
+                    tree, right_plan, left_keys, right_keys,
+                    enable_kernels=self.options.enable_kernels))
             tree_card = max(1.0, self._join_cardinality(
                 tree_card, list(joined), alias, planned, join_edges))
             joined.add(alias)
@@ -544,6 +568,7 @@ class Planner:
         sub_planner = Planner(self.options)
         inner = sub_planner.plan_block(source.block)
         self.scans.extend(sub_planner.scans)
+        self.kernel_ops.extend(sub_planner.kernel_ops)
         outputs = [
             (f"{source.alias}.{name}", ex.ColumnRef(name, expr.result_type))
             for name, expr in source.block.select

@@ -61,6 +61,7 @@ import numpy as np
 from repro.core.types import ColumnType
 from repro.engine import expressions as ex
 from repro.engine.batch import Batch, concat_batches
+from repro.engine.kernels import GroupByKernel, lexsort_indices
 from repro.engine.morsels import Morsel, block_ranges, run_ordered
 from repro.engine.operators import (
     BatchSource,
@@ -219,7 +220,7 @@ def execute_partial(block: QueryBlock, options: QueryOptions,
     )
 
     build = _chunk_builder(mode, block, tile_rows, shard_index,
-                           shard_count, rowid_name)
+                           shard_count, rowid_name, options, scan)
     tasks = [
         _bind(_run_chunk, scan, span, tag, build)
         for tag, span in _chunk_spans(relation, scan, tile_rows,
@@ -305,7 +306,19 @@ def _run_chunk(scan: TableScan, span: List[Tuple[int, int]],
 
 def _chunk_builder(mode: str, block: QueryBlock, tile_rows: int,
                    shard_index: int, shard_count: int,
-                   rowid_name: Optional[str]):
+                   rowid_name: Optional[str],
+                   options: Optional[QueryOptions] = None,
+                   scan: Optional[TableScan] = None):
+    enable_kernels = bool(options and options.enable_kernels)
+
+    def count(field: str, rows: int) -> None:
+        # chunk builders run on pool workers; fold kernel coverage into
+        # the shard's shared counters under the scan's lock
+        if scan is None or not rows:
+            return
+        with scan._counters_lock:
+            setattr(scan.counters, field,
+                    getattr(scan.counters, field) + rows)
     if mode == "scalar":
         op = HashAggregateOp(BatchSource([]), [], block.aggregates)
 
@@ -341,7 +354,29 @@ def _chunk_builder(mode: str, block: QueryBlock, tile_rows: int,
                 spec.expr.evaluate(batch) if spec.expr is not None else None
                 for spec in block.aggregates
             ]
-            groups: Dict[tuple, List] = {}
+            groups: Optional[Dict[tuple, List]] = None
+            if enable_kernels:
+                # one chunk = one batch, so a per-chunk GroupByKernel
+                # either folds it whole or declines it untouched;
+                # spill() yields exactly the per-tuple state dicts the
+                # encoder below expects (generic mode only admits
+                # exactly-mergeable aggregates, see classify_block)
+                kernel = GroupByKernel(block.aggregates)
+                if kernel.supported and kernel.update(
+                        key_vectors, agg_vectors, batch.length):
+                    groups = kernel.spill()
+                    count("kernel_rows", batch.length)
+                else:
+                    count("fallback_rows", batch.length)
+            if groups is not None:
+                return {
+                    "keys": [list(key) for key in groups],
+                    "key_types": [vector.type.name
+                                  for vector in key_vectors],
+                    "states": [_encode_states(state, block.aggregates)
+                               for state in groups.values()],
+                }
+            groups = {}
             for row in range(batch.length):
                 key = tuple(
                     None if vector.null_mask[row] else _scalar(vector, row)
@@ -375,11 +410,21 @@ def _chunk_builder(mode: str, block: QueryBlock, tile_rows: int,
                 # any globally-top-k row is in its chunk's top-k, and
                 # re-sorting the picks preserves original row order —
                 # the same argument as TopKOp._parallel_candidates
-                sort_value = _make_sort_key(projected, block.order_by)
-                picks = heapq.nsmallest(limit, range(projected.length),
-                                        key=sort_value)
-                picks.sort()
-                take = np.array(picks, dtype=np.int64)
+                take = None
+                if enable_kernels:
+                    order = lexsort_indices(projected, block.order_by)
+                    if order is not None:
+                        take = np.sort(order[:limit])
+                        count("kernel_rows", projected.length)
+                    else:
+                        count("fallback_rows", projected.length)
+                if take is None:
+                    sort_value = _make_sort_key(projected, block.order_by)
+                    picks = heapq.nsmallest(limit,
+                                            range(projected.length),
+                                            key=sort_value)
+                    picks.sort()
+                    take = np.array(picks, dtype=np.int64)
             else:
                 take = np.arange(limit, dtype=np.int64)
             projected = projected.take(take)

@@ -35,6 +35,15 @@ def _default_multipath_shred() -> bool:
     return raw.lower() in ("1", "true", "yes", "on")
 
 
+def _default_kernels() -> bool:
+    """On unless ``REPRO_KERNELS`` disables it (differential tests and
+    benchmarks ablate the batch kernels against the per-tuple paths)."""
+    raw = os.environ.get("REPRO_KERNELS", "")
+    if not raw:
+        return True
+    return raw.lower() in ("1", "true", "yes", "on")
+
+
 def alias_of_column(name: str) -> str:
     """Recover the source alias from a column name.
 
@@ -169,3 +178,8 @@ class QueryOptions:
     #: path; off reproduces the per-path baseline for ablation.
     enable_multipath_shred: bool = field(
         default_factory=_default_multipath_shred)
+    #: batch kernels (engine/kernels.py): vectorized generic GROUP BY,
+    #: composite/string-key join probe, lexsort ORDER BY.  Off runs the
+    #: per-tuple reference paths; results are bit-identical either way
+    #: (the differential suite asserts it).
+    enable_kernels: bool = field(default_factory=_default_kernels)

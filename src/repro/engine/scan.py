@@ -105,6 +105,15 @@ class ScanCounters:
     #: tiles the residency budget paged out while this scan's pins
     #: pushed it over — eviction churn attributable to this query
     tile_evictions: int = 0
+    #: rows processed by the gated batch kernels (engine/kernels.py):
+    #: vectorized generic GROUP BY, join probe, ORDER BY.  The always-on
+    #: single-int64 fast paths are not counted — kernels-off runs
+    #: therefore report 0 here.
+    kernel_rows: int = 0
+    #: rows a kernel declined (NaN keys, mixed types, overflow risk)
+    #: that ran on the per-tuple reference path despite
+    #: ``enable_kernels`` — the vectorized-coverage gap.
+    fallback_rows: int = 0
 
     def merge(self, other: "ScanCounters") -> "ScanCounters":
         for field in fields(self):

@@ -20,6 +20,7 @@ alias exists for readability at call sites).
 
 from __future__ import annotations
 
+import base64
 import dataclasses
 import json
 import socket
@@ -49,7 +50,7 @@ class ServerError(ReproError):
 _IDEMPOTENT_COMMANDS = frozenset({
     "ping", "hello", "query", "explain", "stats", "partial_query",
     "fetch_docs", "wal_fetch", "replica_status", "maintenance",
-    "flush", "checkpoint",
+    "flush", "checkpoint", "export_arrow",
 })
 
 
@@ -182,6 +183,18 @@ class ServerClient:
         return QueryResult(columns=response["columns"],
                            rows=[tuple(row) for row in response["rows"]],
                            counters=counters)
+
+    def export_arrow(self, table: str) -> bytes:
+        """Fetch *table* as Arrow IPC stream bytes.
+
+        The client does not need ``pyarrow`` — it relays the decoded
+        bytes; feed them to ``pyarrow.ipc.open_stream`` (or any Arrow
+        implementation) to materialize the table.  The server raises
+        ``bad_request`` when it lacks the optional ``pyarrow``
+        dependency or the table does not exist.
+        """
+        response = self._call("export_arrow", table=table)
+        return base64.b64decode(response["data"])
 
     def partial_query(self, sql: str, shard_index: int, shard_count: int,
                       mode: Optional[str] = None,

@@ -25,7 +25,7 @@ MAX_MESSAGE_BYTES = 32 * 1024 * 1024
 #: bumped whenever the command set or a command's wire shape changes;
 #: ``hello`` exchanges it so a coordinator refuses to drive a shard
 #: built against a different protocol instead of failing mid-query
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: commands the server understands (kept here so client and server
 #: cannot drift); the cluster-facing commands (``hello`` onward) are
@@ -33,7 +33,7 @@ PROTOCOL_VERSION = 2
 COMMANDS = ("ping", "create_table", "insert", "flush", "query", "explain",
             "stats", "checkpoint", "maintenance", "shutdown",
             "hello", "partial_query", "fetch_docs", "wal_fetch",
-            "replica_status")
+            "replica_status", "export_arrow")
 
 
 class ProtocolError(Exception):

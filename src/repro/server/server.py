@@ -30,6 +30,7 @@ Data directory layout::
 from __future__ import annotations
 
 import asyncio
+import base64
 import dataclasses
 import json
 import os
@@ -49,7 +50,7 @@ from repro.maintenance import (
     MaintenanceJournal,
 )
 from repro.engine.plan import QueryOptions
-from repro.errors import ReproError
+from repro.errors import ExecutionError, ReproError
 from repro.storage.formats import StorageFormat
 from repro.storage.tile_cache import GLOBAL_TILE_CACHE
 from repro.storage.tilestore import GLOBAL_TILE_STORE
@@ -97,6 +98,7 @@ class JsonTilesServer:
                  cache_mb: float = 64.0,
                  memory_mb: Optional[float] = None,
                  multipath_shred: Optional[bool] = None,
+                 enable_kernels: Optional[bool] = None,
                  checkpoint_interval: Optional[float] = None,
                  maintenance: bool = False,
                  maintenance_config: Optional[MaintenanceConfig] = None,
@@ -125,6 +127,10 @@ class JsonTilesServer:
             # None keeps the QueryOptions default (on, or the
             # REPRO_MULTIPATH_SHRED override)
             self.default_options.enable_multipath_shred = multipath_shred
+        if enable_kernels is not None:
+            # None keeps the QueryOptions default (on, or the
+            # REPRO_KERNELS override)
+            self.default_options.enable_kernels = enable_kernels
         self.checkpoint_interval = checkpoint_interval
         #: online maintenance (DESIGN.md §6d): tile health, §3.2
         #: reordering and re-extraction as a background asyncio task
@@ -673,6 +679,38 @@ class JsonTilesServer:
         return protocol.ok_response(request_id, docs=documents,
                                     next=start + len(documents),
                                     total=total)
+
+    async def _cmd_export_arrow(self, request: dict, request_id) -> dict:
+        """Export a table's resolved tile columns as an Arrow IPC
+        stream (base64 on the wire).  Zero-copy on the server side —
+        see ``repro.engine.arrow_export``; requires the optional
+        ``pyarrow`` dependency on the server (the client needs none to
+        relay the bytes)."""
+        name = request["table"]
+        relation = self._base.get(name)
+        if relation is None:
+            return protocol.error_response(f"unknown table {name!r}",
+                                           request_id, code="bad_request")
+
+        def export() -> bytes:
+            from repro.engine.arrow_export import (relation_to_arrow,
+                                                   table_to_ipc_bytes)
+
+            relation.flush_inserts(
+                append_guard=lambda: self.locks.write_locked(name))
+            with self.locks.read_locked([name]):
+                return table_to_ipc_bytes(relation_to_arrow(relation))
+
+        try:
+            payload = await asyncio.wrap_future(
+                self.executor.submit_call(export))
+        except ExecutionError as exc:  # pyarrow missing on the server
+            return protocol.error_response(str(exc), request_id,
+                                           code="bad_request")
+        return protocol.ok_response(
+            request_id,
+            format="arrow_ipc_stream",
+            data=base64.b64encode(payload).decode("ascii"))
 
     async def _cmd_wal_fetch(self, request: dict, request_id) -> dict:
         """Ship WAL records from a cumulative offset (live segment +

@@ -41,7 +41,16 @@ class ColumnVector:
         if null_mask is None:
             null_mask = np.zeros(len(data), dtype=bool)
         if len(null_mask) != len(data):
-            raise StorageError("null mask length mismatch")
+            raise StorageError(
+                f"null mask length mismatch: data has {len(data)} rows, "
+                f"null mask has {len(null_mask)}")
+        if null_mask.dtype != np.bool_:
+            # a non-bool mask (e.g. int 0/1) silently turns boolean
+            # indexing into fancy indexing inside the batch kernels —
+            # reject it here instead of failing with an opaque numpy
+            # broadcast error later
+            raise StorageError(
+                f"null mask dtype must be bool, got {null_mask.dtype}")
         self.type = column_type
         self.data = data
         self.null_mask = null_mask

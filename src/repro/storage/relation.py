@@ -581,6 +581,23 @@ class Relation:
             return 1.0 if not tile.header.columns else 0.0
         return len(tile.header.columns) / len(tile.header.key_counts)
 
+    def to_arrow(self, paths=None, options=None):
+        """Export the relation as a ``pyarrow.Table`` (zero-copy for
+        fixed-width columns; see ``repro.engine.arrow_export``).
+
+        *paths* is an optional ``[(KeyPath, ColumnType), ...]``
+        projection; by default every extracted path across the sealed
+        tiles is exported under its header type (cross-tile type
+        conflicts degrade to JSON text).  Buffered inserts are sealed
+        first so the export observes every acknowledged document.
+        Raises ``ExecutionError`` when ``pyarrow`` is not installed —
+        the dependency is strictly optional.
+        """
+        from repro.engine.arrow_export import relation_to_arrow
+
+        self.flush_inserts()
+        return relation_to_arrow(self, paths=paths, options=options)
+
     def describe(self) -> str:
         lines = [f"relation {self.name}: {self.row_count} rows, "
                  f"format={self.format.value}, tiles={len(self.tiles)}"]

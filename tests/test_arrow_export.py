@@ -1,0 +1,179 @@
+"""Arrow export: schema derivation, the optional-dependency gate, the
+server command, and — when ``pyarrow`` is installed — layout fidelity
+(zero-copy fixed-width buffers, null bitmaps, JSONB-as-JSON-strings)
+and the IPC stream round trip.
+
+The suite must pass both with and without ``pyarrow``: the metadata
+and error-path tests never import it, the positive-path tests
+``importorskip`` it (the CI matrix runs them in the pyarrow job).
+"""
+
+import importlib.util
+
+import pytest
+
+from repro import Database, ExtractionConfig, StorageFormat
+from repro.core.types import ColumnType
+from repro.engine.arrow_export import default_export_paths
+from repro.errors import ExecutionError
+from repro.server import JsonTilesServer, ServerClient, ServerError
+
+CONFIG = ExtractionConfig(tile_size=32, partition_size=2)
+
+HAVE_PYARROW = importlib.util.find_spec("pyarrow") is not None
+
+
+def _load(rows, name="t", config=CONFIG):
+    db = Database(StorageFormat.TILES, config)
+    db.load_table(name, rows, config=config)
+    return db
+
+
+@pytest.fixture()
+def server(tmp_path):
+    instance = JsonTilesServer(tmp_path / "data", wal_sync=False,
+                               query_workers=2)
+    instance.start_in_thread()
+    yield instance
+    instance.stop_in_thread()
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(port=server.port) as connection:
+        yield connection
+
+
+# ----------------------------------------------------------------------
+# runs with or without pyarrow
+
+
+class TestExportSchema:
+    def test_union_of_tile_paths_sorted(self):
+        rows = [{"a": i, "b": f"s{i}", "f": float(i)} for i in range(40)]
+        db = _load(rows)
+        paths = default_export_paths(db.table("t"))
+        names = [str(path) for path, _type in paths]
+        assert names == sorted(names)
+        by_name = {str(path): t for path, t in paths}
+        assert by_name["a"] == ColumnType.INT64
+        assert by_name["b"] == ColumnType.STRING
+        assert by_name["f"] == ColumnType.FLOAT64
+
+    def test_cross_tile_type_conflict_degrades_to_jsonb(self):
+        # tile 1 sees `k` as INT64, tile 2 as STRING — the exported
+        # schema must not pick a lossy winner
+        rows = [{"k": i, "v": i} for i in range(32)]
+        rows += [{"k": f"s{i}", "v": i} for i in range(32)]
+        db = _load(rows)
+        by_name = {str(path): t
+                   for path, t in default_export_paths(db.table("t"))}
+        assert by_name["k"] == ColumnType.JSONB
+        assert by_name["v"] == ColumnType.INT64
+
+    def test_empty_relation_has_no_paths(self):
+        db = Database(StorageFormat.TILES, CONFIG)
+        db.create_table("t")
+        assert default_export_paths(db.table("t")) == []
+
+
+@pytest.mark.skipif(HAVE_PYARROW, reason="pyarrow installed")
+class TestMissingPyarrow:
+    def test_to_arrow_raises_clean_error(self):
+        db = _load([{"a": i} for i in range(10)])
+        with pytest.raises(ExecutionError, match="pyarrow"):
+            db.table("t").to_arrow()
+
+    def test_server_reports_bad_request(self, client):
+        client.create_table("events", "tiles",
+                            {"tile_size": 32, "partition_size": 2})
+        client.insert_many("events", [{"id": i} for i in range(10)])
+        with pytest.raises(ServerError) as excinfo:
+            client.export_arrow("events")
+        assert excinfo.value.code == "bad_request"
+        assert "pyarrow" in str(excinfo.value)
+
+
+class TestServerCommand:
+    def test_unknown_table_is_bad_request(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.export_arrow("nope")
+        assert excinfo.value.code == "bad_request"
+
+
+# ----------------------------------------------------------------------
+# positive paths: only when pyarrow is available (CI matrix job)
+
+
+class TestArrowValues:
+    @pytest.fixture(autouse=True)
+    def pa(self):
+        return pytest.importorskip("pyarrow")
+
+    def test_values_and_schema(self, pa):
+        rows = [{"a": i, "b": f"s{i % 4}", "f": i * 0.5,
+                 "ok": i % 2 == 0} for i in range(50)]
+        db = _load(rows)
+        table = db.table("t").to_arrow()
+        assert table.num_rows == 50
+        assert table.schema.field("a").type == pa.int64()
+        assert table.schema.field("b").type == pa.string()
+        assert table.schema.field("f").type == pa.float64()
+        assert table.schema.field("ok").type == pa.bool_()
+        assert table.column("a").to_pylist() == [r["a"] for r in rows]
+        assert table.column("b").to_pylist() == [r["b"] for r in rows]
+        assert table.column("f").to_pylist() == [r["f"] for r in rows]
+        assert table.column("ok").to_pylist() == [r["ok"] for r in rows]
+
+    def test_null_bitmap(self, pa):
+        rows = [{"a": i, "b": None if i % 3 == 0 else i}
+                for i in range(40)]
+        db = _load(rows)
+        table = db.table("t").to_arrow()
+        column = table.column("b").to_pylist()
+        expected = [None if i % 3 == 0 else i for i in range(40)]
+        assert column == expected
+        assert table.column("b").null_count == \
+            sum(1 for v in expected if v is None)
+
+    def test_fixed_width_buffers_are_zero_copy(self, pa):
+        import numpy as np
+
+        from repro.engine.arrow_export import vector_to_arrow
+        from repro.storage.column import ColumnVector
+
+        data = np.arange(100, dtype=np.int64)
+        vector = ColumnVector(ColumnType.INT64, data)
+        array = vector_to_arrow(vector, pa)
+        # the Arrow value buffer wraps the numpy array's memory
+        assert array.buffers()[1].address == data.ctypes.data
+
+    def test_jsonb_exports_json_strings(self, pa):
+        import json
+
+        rows = [{"k": i, "v": i} for i in range(32)]
+        rows += [{"k": f"s{i}", "v": i} for i in range(32)]
+        db = _load(rows)
+        table = db.table("t").to_arrow()
+        assert table.schema.field("k").type == pa.string()
+        decoded = [json.loads(v) for v in table.column("k").to_pylist()]
+        assert decoded[:3] == [0, 1, 2]
+        assert decoded[32:35] == ["s0", "s1", "s2"]
+
+    def test_empty_relation_exports_empty_table(self, pa):
+        db = Database(StorageFormat.TILES, CONFIG)
+        db.create_table("t")
+        table = db.table("t").to_arrow()
+        assert table.num_rows == 0
+
+    def test_server_ipc_round_trip(self, pa, client):
+        client.create_table("events", "tiles",
+                            {"tile_size": 32, "partition_size": 2})
+        docs = [{"id": i, "kind": "a" if i % 2 else "b"}
+                for i in range(100)]
+        client.insert_many("events", docs)
+        payload = client.export_arrow("events")
+        with pa.ipc.open_stream(payload) as reader:
+            table = reader.read_all()
+        assert table.num_rows == 100
+        assert table.column("id").to_pylist() == list(range(100))

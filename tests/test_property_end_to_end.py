@@ -143,11 +143,13 @@ def _multiset(values):
 
 
 def _norm(values):
-    # float32-narrowed values and text renderings must compare stably
+    # float32-narrowed values and text renderings must compare stably;
+    # NaN (reachable via the text "NAN" cast to float) compares unequal
+    # to itself, so normalize it to a token both sides agree on
     out = []
     for value in values:
         if isinstance(value, float):
-            out.append(round(value, 4))
+            out.append("__nan__" if value != value else round(value, 4))
         else:
             out.append(value)
     return out
