@@ -16,11 +16,14 @@ Public API
   ablation switches.
 * :class:`MaintenanceConfig` — thresholds of the online maintenance
   daemon (``Database.start_maintenance()``, ``serve --maintenance``).
+* :class:`LsmConfig` — knobs of the LSM tier: leveled tile compaction
+  with merge-time re-mining (``serve --lsm``, ``REPRO_LSM_*``).
 * :mod:`repro.jsonb` — the binary JSON format of Section 5.
 """
 
 from repro.database import Database
 from repro.engine.plan import QueryOptions
+from repro.lsm import LsmConfig
 from repro.maintenance import MaintenanceConfig, MaintenanceDaemon
 from repro.storage.formats import StorageFormat
 from repro.storage.loader import load_documents, load_json_lines
@@ -32,6 +35,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Database",
     "ExtractionConfig",
+    "LsmConfig",
     "MaintenanceConfig",
     "MaintenanceDaemon",
     "QueryOptions",

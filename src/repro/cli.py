@@ -187,6 +187,21 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         default=None, metavar="SECONDS",
                         help="seconds between maintenance cycles "
                              "(default 1.0, or REPRO_MAINT_INTERVAL)")
+    parser.add_argument("--lsm", action="store_true",
+                        help="LSM-tiered ingest: fresh sealed tiles "
+                             "land in L0 and the maintenance daemon "
+                             "merges fanout-sized runs into larger "
+                             "re-mined L1/L2 tiles (implies "
+                             "--maintenance; tunable via REPRO_LSM_* "
+                             "environment variables)")
+    parser.add_argument("--lsm-fanout", type=int, default=None,
+                        metavar="N",
+                        help="tiles merged per compaction (default 4, "
+                             "or REPRO_LSM_FANOUT)")
+    parser.add_argument("--lsm-max-level", type=int, default=None,
+                        metavar="N",
+                        help="deepest level compaction produces "
+                             "(default 2, or REPRO_LSM_MAX_LEVEL)")
     return parser
 
 
@@ -201,11 +216,19 @@ def serve_main(argv: List[str], out, role: str = "server") -> int:
                               partition_size=args.partition_size,
                               threshold=args.threshold)
     maintenance_config = None
-    if args.maintenance:
+    if args.maintenance or args.lsm:
         from repro.maintenance import MaintenanceConfig
 
         maintenance_config = MaintenanceConfig.from_env(
             interval_s=args.maintenance_interval)
+    lsm_config = None
+    if args.lsm:
+        from repro.lsm import LsmConfig
+
+        lsm_config = LsmConfig.from_env(
+            enabled=True,
+            fanout=args.lsm_fanout,
+            max_level=args.lsm_max_level)
     try:
         run_server(
             args.data_dir, args.host, args.port,
@@ -219,8 +242,9 @@ def serve_main(argv: List[str], out, role: str = "server") -> int:
             multipath_shred=not args.no_shred,
             enable_kernels=not args.no_kernels,
             checkpoint_interval=args.checkpoint_interval or None,
-            maintenance=args.maintenance,
+            maintenance=args.maintenance or args.lsm,
             maintenance_config=maintenance_config,
+            lsm_config=lsm_config,
             role=role,
         )
     except OSError as exc:

@@ -632,6 +632,32 @@ class ClusterCoordinator:
                 agg["pending"] += table["pending"]
                 agg["tiles"] += table["tiles"]
                 agg["wal_total"] += table.get("wal_total", 0)
+                lsm = table.get("lsm")
+                if lsm:
+                    agg_lsm = agg.setdefault("lsm", {
+                        "enabled": False, "levels": {}, "counters": {}})
+                    agg_lsm["enabled"] = (agg_lsm["enabled"]
+                                          or bool(lsm.get("enabled")))
+                    for level, report in lsm.get("levels", {}).items():
+                        merged = agg_lsm["levels"].setdefault(level, {})
+                        for key, value in report.items():
+                            if key == "extracted_fraction":
+                                # tile-weighted sum; averaged below
+                                # once every shard is folded in
+                                merged["_fraction_x_tiles"] = \
+                                    merged.get("_fraction_x_tiles", 0.0) \
+                                    + value * report.get("tiles", 0)
+                            else:
+                                merged[key] = merged.get(key, 0) + value
+                    for key, value in lsm.get("counters", {}).items():
+                        agg_lsm["counters"][key] = \
+                            agg_lsm["counters"].get(key, 0) + value
+        for table in tables.values():
+            for report in table.get("lsm", {}).get("levels", {}).values():
+                weighted = report.pop("_fraction_x_tiles", 0.0)
+                report["extracted_fraction"] = round(
+                    weighted / max(1, report.get("tiles", 0)), 4)
+
         for name, entry in self.tables.items():
             if name in tables:
                 tables[name]["routed_rows"] = entry["count"]

@@ -41,6 +41,12 @@ def _describe(node, analyze: bool = False) -> str:
             stats = ", ".join(f"{name}={value}" for name, value
                               in node.counters.as_dict().items())
             text += f"  [{stats}]"
+            if node.levels_scanned:
+                # per-LSM-level tile counts this scan actually touched
+                levels = ", ".join(
+                    f"L{level}={count}" for level, count
+                    in sorted(node.levels_scanned.items()))
+                text += f"  [levels: {levels}]"
         return text
     if isinstance(node, op.HashJoinOp):
         return (f"HashJoin [{node.kind.value}] on "

@@ -39,6 +39,13 @@ class Morsel:
     be evicted mid-resolution.  ``tile`` is ``None`` for the raw-text
     storage format, where the range indexes the relation's text rows
     instead.
+
+    Morsels are enumerated from an epoch-stamped level manifest
+    (``relation.manifest()``, DESIGN.md §8), so the handle may belong
+    to a tile set an LSM compaction has since superseded; the handle
+    stays resolvable for the scan that enumerated it (ordinary
+    reference semantics plus the pin protocol), and the append guard
+    keeps swaps out of read critical sections.
     """
 
     index: int

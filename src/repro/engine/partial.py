@@ -244,12 +244,18 @@ def _chunk_spans(relation, scan: TableScan, tile_rows: int,
         live = [(0, total)] if total else []
     else:
         live = []
-        for tile in relation.tiles:
+        # one manifest snapshot for the span enumeration (repro.lsm):
+        # a compaction swapping tiles mid-enumeration cannot tear the
+        # chunk layout, and the counters match TableScan.morsels
+        for tile in relation.manifest().tiles:
             scan.counters.tiles_total += 1
             if scan._can_skip(tile):
                 scan.counters.tiles_skipped += 1
                 continue
             scan.counters.rows_scanned += tile.row_count
+            level = tile.header.level
+            scan.levels_scanned[level] = \
+                scan.levels_scanned.get(level, 0) + 1
             live.append((tile.first_row, tile.first_row + tile.row_count))
     for start, stop in block_ranges(total, tile_rows):
         k = (start // tile_rows) * shard_count + shard_index
@@ -282,12 +288,17 @@ def _run_chunk(scan: TableScan, span: List[Tuple[int, int]],
             if batch.length:
                 batches.append(batch)
     else:
-        firsts = [tile.first_row for tile in relation.tiles]
+        # resolve against a manifest snapshot: spans are global row-id
+        # ranges, and compaction preserves row ids, so any epoch yields
+        # the same rows — but a snapshot makes the tile walk itself
+        # immune to a concurrent splice
+        tiles = relation.manifest().tiles
+        firsts = [tile.first_row for tile in tiles]
         for start, stop in span:
             index = max(0, bisect_right(firsts, start) - 1)
-            while index < len(relation.tiles) and \
-                    relation.tiles[index].first_row < stop:
-                tile = relation.tiles[index]
+            while index < len(tiles) and \
+                    tiles[index].first_row < stop:
+                tile = tiles[index]
                 lo = max(start, tile.first_row)
                 hi = min(stop, tile.first_row + tile.row_count)
                 if lo < hi:

@@ -178,6 +178,10 @@ class TableScan:
         self.multipath_shred = multipath_shred
         self.counters = ScanCounters()
         self._counters_lock = threading.Lock()
+        #: ``level -> tiles scanned`` histogram filled at morsel
+        #: enumeration time; EXPLAIN ANALYZE renders it so operators
+        #: see which LSM levels a query actually touched
+        self.levels_scanned: Dict[int, int] = {}
         #: compiled shred plans per distinct path tuple; worker threads
         #: may race to build the same plan — compilation is pure, so
         #: last-write-wins is harmless
@@ -197,14 +201,34 @@ class TableScan:
                 stop = min(start + self.batch_rows, len(rows))
                 morsels.append(Morsel(len(morsels), None, start, stop))
             return morsels
-        for tile in self.relation.tiles:
+        # enumerate one epoch-stamped manifest snapshot, not the live
+        # list: a concurrent LSM compaction swaps tiles underneath, and
+        # the snapshot guarantees this scan sees either the old run or
+        # the merged tile, never a torn mixture (DESIGN.md §8)
+        #
+        # canonical block layout: chop every tile at multiples of the
+        # configured tile size, not at its physical row count.  Legacy
+        # tiles never exceed tile_size rows, so nothing changes for
+        # them — but an LSM-merged tile (fanout * tile_size rows) is
+        # sliced exactly where its inputs' boundaries were, and the
+        # per-batch kernel partials fold in the same order as before
+        # the merge.  Batch boundaries are where float summation
+        # grouping lives; this is what makes query results bit-exact
+        # with compaction on vs off (the same trick the cluster's
+        # partial merge plays across drifted shard tile boundaries).
+        block = max(1, min(self.batch_rows,
+                           self.relation.config.tile_size))
+        for tile in self.relation.manifest().tiles:
             self.counters.tiles_total += 1
             if self._can_skip(tile):
                 self.counters.tiles_skipped += 1
                 continue
             self.counters.rows_scanned += tile.row_count
-            for start in range(0, tile.row_count, self.batch_rows):
-                stop = min(start + self.batch_rows, tile.row_count)
+            level = tile.header.level
+            self.levels_scanned[level] = \
+                self.levels_scanned.get(level, 0) + 1
+            for start in range(0, tile.row_count, block):
+                stop = min(start + block, tile.row_count)
                 morsels.append(Morsel(len(morsels), tile, start, stop))
         return morsels
 

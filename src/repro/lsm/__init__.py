@@ -1,0 +1,32 @@
+"""``repro.lsm`` — LSM-tiered ingest: leveled tile compaction with
+snapshot reads.
+
+Fresh sealed tiles land in level 0; the compaction planner
+(:mod:`repro.lsm.compactor`) merges runs of adjacent same-level tiles
+into one larger next-level tile, re-mining frequent itemsets over the
+merged documents so deeper levels get strictly better extraction.
+Readers take an epoch-stamped :class:`~repro.lsm.manifest.LevelManifest`
+snapshot so queries, morsel scans and cluster partial queries see a
+consistent tile set while compaction swaps tiles underneath.  The merge
+itself lives on :meth:`repro.storage.relation.Relation.compact_tiles`
+and runs through the maintenance daemon's WAL-backed action journal
+(DESIGN.md §8).
+"""
+
+from repro.lsm.compactor import (
+    CompactionCandidate,
+    LsmConfig,
+    level_histogram,
+    plan_compactions,
+    predicted_extraction_gain,
+)
+from repro.lsm.manifest import LevelManifest
+
+__all__ = [
+    "CompactionCandidate",
+    "LevelManifest",
+    "LsmConfig",
+    "level_histogram",
+    "plan_compactions",
+    "predicted_extraction_gain",
+]

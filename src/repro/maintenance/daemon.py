@@ -113,7 +113,7 @@ class MaintenanceDaemon:
         self._thread: Optional[threading.Thread] = None
         self.counters = {
             "cycles": 0, "actions": 0, "reorders": 0, "recomputes": 0,
-            "compactions": 0, "noops": 0, "errors": 0,
+            "compactions": 0, "merges": 0, "noops": 0, "errors": 0,
             "skipped_backpressure": 0, "recovered": 0,
         }
         self._counters_lock = threading.Lock()
@@ -214,6 +214,21 @@ class MaintenanceDaemon:
             elif action.kind is ActionKind.COMPACT_BUFFER:
                 relation.flush_inserts(append_guard=guard)
                 self._bump("compactions")
+            elif action.kind is ActionKind.COMPACT_TILES:
+                # re-derive the run from live state: after a crash the
+                # recovered action re-runs against whatever survived —
+                # old tiles (the merge repeats) or the merged tile (the
+                # run no longer exists and this is a clean no-op), so
+                # replay lands on "either old or new, never both"
+                lsm_config = getattr(relation, "lsm_config", None)
+                fanout = lsm_config.fanout if lsm_config is not None else 4
+                changed = relation.compact_tiles(action.target, fanout,
+                                                 append_guard=guard)
+                if changed:
+                    self._bump("merges")
+                else:
+                    status = "noop"
+                    self._bump("noops")
         except Exception as exc:  # the daemon must survive any action
             status, detail = "error", f"{type(exc).__name__}: {exc}"
             self._bump("errors")
@@ -255,6 +270,9 @@ class MaintenanceDaemon:
                 "partitions": [health.as_dict()
                                for health in tracker.snapshot()],
             }
+            if getattr(relation, "lsm_config", None) is not None:
+                # per-level occupancy + merge counters (repro.lsm)
+                tables[name]["lsm"] = relation.lsm_status()
         with self._counters_lock:
             counters = dict(self.counters)
         return {

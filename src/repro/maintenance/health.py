@@ -4,9 +4,10 @@
 A :class:`HealthTracker` observes one relation through two channels:
 
 * **storage events** (:meth:`Relation.add_event_hook`): tile seals,
-  in-place updates, tile recomputations and partition reorganizations
-  maintain sticky per-partition counters (updates, rows since the last
-  reorganization, reorder attempts, cooldown);
+  in-place updates, tile recomputations, partition reorganizations and
+  LSM compaction merges maintain sticky per-partition counters
+  (updates, rows since the last reorganization, reorder attempts,
+  cooldown);
 * **scan totals** (PR 2's mergeable ScanCounters, folded into
   ``Relation.scan_totals`` by the engine): the delta of
   ``fallback_tiles`` over ``tiles_scanned`` between refreshes is the
@@ -122,6 +123,18 @@ class HealthTracker:
                 # reordering instead of staying pinned "attempted"
                 self._tile_updates.pop(payload.header.tile_number, None)
                 record = self._record_locked(self._partition_of(payload))
+                record.attempts = 0
+                record.cooldown = 0
+                record.updates = 0
+            elif event == "compact":
+                # an LSM merge rewrote a run of tiles into one: the
+                # inputs' update history describes no live tile any
+                # more, and the merged tile's partition changed content
+                # so it becomes re-eligible for §3.2 reordering
+                for number in payload.get("inputs", ()):
+                    self._tile_updates.pop(number, None)
+                record = self._record_locked(
+                    self._partition_of(payload["tile"]))
                 record.attempts = 0
                 record.cooldown = 0
                 record.updates = 0

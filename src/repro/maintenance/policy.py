@@ -35,12 +35,16 @@ class ActionKind(enum.Enum):
     REORDER_PARTITION = "reorder_partition"
     RECOMPUTE_TILE = "recompute_tile"
     COMPACT_BUFFER = "compact_buffer"
+    #: repro.lsm leveled compaction: merge a run of adjacent same-level
+    #: tiles into one next-level tile (target = first tile number)
+    COMPACT_TILES = "compact_tiles"
 
 
 @dataclasses.dataclass
 class MaintenanceAction:
     """One unit of background work.  ``target`` is the partition index
-    (REORDER_PARTITION), the tile number (RECOMPUTE_TILE) or ``-1``
+    (REORDER_PARTITION), the tile number (RECOMPUTE_TILE or
+    COMPACT_TILES, where it names the run's first tile) or ``-1``
     (COMPACT_BUFFER)."""
 
     kind: ActionKind
@@ -224,6 +228,24 @@ class MaintenancePlanner:
                 actions.append(MaintenanceAction(
                     ActionKind.RECOMPUTE_TILE, name, number,
                     float(updates) * (1.0 + fallback)))
+
+        # repro.lsm leveled compaction: merge runs of adjacent
+        # same-level tiles (header-only planning; the relation's own
+        # LsmConfig gates it, so shards compact even with reordering
+        # off — row order is preserved by the merge)
+        lsm_config = getattr(relation, "lsm_config", None)
+        if lsm_config is not None and lsm_config.enabled:
+            from repro.lsm import plan_compactions
+
+            partition_size = max(1, relation.config.partition_size)
+            for candidate in plan_compactions(relation, lsm_config):
+                if candidate.start_number // partition_size \
+                        in reorder_partitions:
+                    continue  # the reorder rebuilds these tiles anyway
+                actions.append(MaintenanceAction(
+                    ActionKind.COMPACT_TILES, name,
+                    candidate.start_number,
+                    candidate.score * (1.0 + fallback)))
         return actions
 
     def plan(self, tables: Mapping[str, Tuple[Relation, HealthTracker]],

@@ -76,6 +76,23 @@ def encode_documents(
     return dictionary, transactions
 
 
+def combined_key_counts(key_counts: Iterable[Dict[str, int]]) -> Dict[str, int]:
+    """Merge several tiles' key-path frequency databases (Section 4.4)
+    into one, as if their documents formed a single tile.
+
+    The LSM compaction planner uses this to *predict* merge-time mining
+    from resident headers alone: a path whose combined frequency clears
+    the extraction threshold over the merged rows becomes a column of
+    the output tile even when individual inputs fell short — without
+    decoding a single document.
+    """
+    merged: Dict[str, int] = {}
+    for counts in key_counts:
+        for text, count in counts.items():
+            merged[text] = merged.get(text, 0) + count
+    return merged
+
+
 def subset_dictionary(
     parent: ItemDictionary, transactions: Sequence[Sequence[int]]
 ) -> Tuple[ItemDictionary, List[List[int]]]:

@@ -102,6 +102,7 @@ class JsonTilesServer:
                  checkpoint_interval: Optional[float] = None,
                  maintenance: bool = False,
                  maintenance_config: Optional[MaintenanceConfig] = None,
+                 lsm_config=None,
                  read_only: bool = False,
                  role: str = "server"):
         self.data_dir = Path(data_dir)
@@ -138,6 +139,13 @@ class JsonTilesServer:
         self.maintenance_config = maintenance_config
         self.maintenance: Optional[MaintenanceDaemon] = None
         self._maintenance_task: Optional[asyncio.Task] = None
+        #: LSM tiering (``serve --lsm`` / ``REPRO_LSM_*``): stamped on
+        #: every base table so the maintenance planner proposes merges;
+        #: an enabled config implies the maintenance daemon, which is
+        #: the only thing that executes compactions
+        self.lsm_config = lsm_config
+        if lsm_config is not None and lsm_config.enabled:
+            self.maintenance_enabled = True
         #: read replicas reject client writes over the protocol; the
         #: replication task applies documents through internal calls
         self.read_only = read_only
@@ -239,6 +247,7 @@ class JsonTilesServer:
         for relation in self._base.values():
             # the background sealer owns tile creation from here on
             relation.auto_seal = False
+            relation.lsm_config = self.lsm_config
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -557,6 +566,7 @@ class JsonTilesServer:
             name, _FORMATS[format_name or self.default_format.value],
             config)
         relation.auto_seal = False
+        relation.lsm_config = self.lsm_config
         self._base[name] = relation
         self._write_catalog()
         self.wals.for_table(name)
@@ -774,6 +784,8 @@ class JsonTilesServer:
                            for field in _CONFIG_FIELDS},
                 "scan": dict(relation.scan_totals),
                 "residency": relation.residency_report(),
+                # per-level occupancy + compaction counters (repro.lsm)
+                "lsm": relation.lsm_status(),
             }
         with self._counters_lock:
             counters = dict(self._counters)

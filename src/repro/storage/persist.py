@@ -285,6 +285,7 @@ def _tile_payload_meta(tile: Tile, blobs: _BlobWriter) -> dict:
         "row_count": header.row_count,
         "first_row": tile.first_row,
         "max_array_elements": header.max_array_elements,
+        "level": header.level,
         "key_counts": header.key_counts,
         "bloom": _bloom_meta(header.unextracted_paths, blobs),
         "stats_keys": header.statistics.key_counts,
@@ -310,7 +311,9 @@ def _restore_tile_header(meta: dict, blobs) -> TileHeader:
     """The eagerly-resident part of a tile: schema, blooms, zone maps —
     everything planning and tile skipping consult."""
     header = TileHeader(meta["tile_number"], meta["row_count"],
-                        max_array_elements=meta["max_array_elements"])
+                        max_array_elements=meta["max_array_elements"],
+                        # pre-LSM snapshots have no level key: level 0
+                        level=int(meta.get("level", 0)))
     header.key_counts = dict(meta["key_counts"])
     header.unextracted_paths = _restore_bloom(meta["bloom"], blobs)
     header.statistics = TileStatistics(row_count=meta["row_count"])

@@ -24,6 +24,7 @@ from repro.core.jsonpath import KeyPath, collect_key_paths
 from repro.errors import StorageError
 from repro.jsonb import decode as jsonb_decode
 from repro.jsonb import encode as jsonb_encode
+from repro.lsm.manifest import LevelManifest
 from repro.stats.table_stats import TableStatistics
 from repro.storage.formats import StorageFormat
 from repro.storage.tile_cache import GLOBAL_TILE_CACHE
@@ -31,6 +32,12 @@ from repro.storage.tilestore import GLOBAL_TILE_STORE, TileHandle
 from repro.tiles.extractor import ExtractionConfig, build_tile
 from repro.tiles.extractor import _materialize_value  # shared coercion
 from repro.tiles.tile import Tile
+
+#: test hook: called between building a merged tile and committing the
+#: manifest swap in :meth:`Relation.compact_tiles`.  Crash-recovery
+#: tests raise from here to model a process dying mid-merge; must stay
+#: ``None`` in production.
+_COMPACT_COMMIT_BARRIER = None
 
 
 class Relation:
@@ -81,6 +88,18 @@ class Relation:
         #: records every finished scan here; served by `stats`)
         self.scan_totals: Dict[str, int] = {}
         self._scan_totals_lock = threading.Lock()
+        #: LSM compaction knobs (:class:`repro.lsm.LsmConfig`); ``None``
+        #: keeps the flat level-0 layout and the planner proposes no
+        #: merges.  The server / CLI set this on every base table.
+        self.lsm_config = None
+        #: compaction counters surfaced by ``stats`` and maintenance
+        #: health (guarded by ``_buffer_lock`` like the tiles list)
+        self.lsm_counters: Dict[str, int] = {
+            "merges": 0, "docs_rewritten": 0, "bytes_written": 0}
+        #: epoch-stamped immutable snapshot of the tiles list
+        #: (DESIGN.md §8): bumped by every mutation, rebuilt lazily
+        self._manifest_epoch = 0
+        self._manifest: Optional[LevelManifest] = None
 
     def record_scan(self, counters) -> None:
         """Fold one finished scan's counters into the running totals.
@@ -102,6 +121,45 @@ class Relation:
         handle = TileHandle.wrap(tile, GLOBAL_TILE_STORE, self.name)
         handle.owner = self
         return handle
+
+    # ------------------------------------------------------------------
+    # manifest snapshots (repro.lsm; DESIGN.md §8)
+
+    def _bump_manifest_locked(self) -> None:
+        """The tiles list just changed; callers hold ``_buffer_lock``."""
+        self._manifest_epoch += 1
+        self._manifest = None
+
+    def manifest(self) -> LevelManifest:
+        """The current epoch-stamped tile-set snapshot.
+
+        Readers (scans, morsel enumeration, cluster partial queries)
+        take one manifest for the whole operation and therefore observe
+        either the pre-compaction tiles or the post-compaction tile,
+        never a torn mixture.  The snapshot is cached until the next
+        mutation; the length check additionally catches direct appends
+        by loaders that bypass the relation's own mutation paths.
+        """
+        with self._buffer_lock:
+            if self._manifest is None \
+                    or len(self._manifest.tiles) != len(self.tiles):
+                self._manifest = LevelManifest(self._manifest_epoch,
+                                               tuple(self.tiles))
+            return self._manifest
+
+    def lsm_status(self) -> Dict[str, object]:
+        """Per-level occupancy + compaction counters for ``stats``,
+        EXPLAIN ANALYZE and maintenance health.  Header-only."""
+        manifest = self.manifest()
+        with self._buffer_lock:
+            counters = dict(self.lsm_counters)
+        return {
+            "enabled": bool(self.lsm_config is not None
+                            and self.lsm_config.enabled),
+            "epoch": manifest.epoch,
+            "levels": manifest.level_report(),
+            "counters": counters,
+        }
 
     # ------------------------------------------------------------------
     # shape
@@ -202,11 +260,13 @@ class Relation:
                             self.tiles.append(tile)
                             self.statistics.absorb_tile(
                                 tile_number, tile.header.statistics)
+                            self._bump_manifest_locked()
                 else:
                     with self._buffer_lock:
                         self.tiles.append(tile)
                         self.statistics.absorb_tile(
                             tile_number, tile.header.statistics)
+                        self._bump_manifest_locked()
             for hook in self._seal_hooks:
                 hook(self, tile)
             self._fire_event("seal", tile)
@@ -220,7 +280,10 @@ class Relation:
         ``(event, relation, payload)`` where event is one of ``"seal"``
         (payload: the new tile), ``"update"`` (payload: the patched
         tile), ``"recompute"`` (payload: the rebuilt tile) and
-        ``"reorganize"`` (payload: the partition index)."""
+        ``"reorganize"`` (payload: the partition index), ``"compact"``
+        (payload: a dict with the merged tile, its level and the input
+        tile numbers) and ``"evict"`` (payload: the paged-out
+        handle)."""
         if hook not in self._event_hooks:
             self._event_hooks.append(hook)
 
@@ -362,12 +425,15 @@ class Relation:
                     return  # replaced concurrently; nothing left to do
                 self.tiles[index] = rebuilt
                 self._rebuild_statistics_locked()
+                self._bump_manifest_locked()
         self._outlier_counts.pop(tile.tile_number, None)
         # the rebuilt tile has a fresh uid; entries of the replaced one
         # can never be served again, so reclaim their memory (and the
-        # replaced handle's residency charge) eagerly
+        # replaced handle's residency charge) eagerly — retired, not
+        # discarded, so a scan holding an older manifest snapshot can
+        # still pin the replaced payload
         GLOBAL_TILE_CACHE.invalidate_tile(tile.uid)
-        GLOBAL_TILE_STORE.discard(tile)
+        GLOBAL_TILE_STORE.retire(tile)
         # a recomputed tile changes its partition's content: the
         # maintenance health tracker resets the partition's record so
         # it becomes re-eligible for Section 3.2 reordering
@@ -470,6 +536,7 @@ class Relation:
                         for now, then in zip(current, old_tiles)):
                     return False  # lost the race: retry in a later cycle
                 self.tiles[lo : lo + len(old_tiles)] = rebuilt
+                self._bump_manifest_locked()
                 # relation statistics are NOT rebuilt: a reorganization
                 # permutes rows within the partition, so the relation's
                 # multiset of (path, value) pairs — everything the
@@ -480,8 +547,108 @@ class Relation:
         for old in old_tiles:
             self._outlier_counts.pop(old.tile_number, None)
             GLOBAL_TILE_CACHE.invalidate_tile(old.uid)
-            GLOBAL_TILE_STORE.discard(old)
+            GLOBAL_TILE_STORE.retire(old)
         self._fire_event("reorganize", index)
+        return True
+
+    # ------------------------------------------------------------------
+    # leveled compaction (repro.lsm; DESIGN.md §8)
+
+    def compact_tiles(self, start_number: int, count: int,
+                      append_guard=None) -> bool:
+        """Merge *count* adjacent same-level tiles starting at the tile
+        numbered *start_number* into one tile of the next level,
+        re-mining frequent itemsets over the union of their documents.
+
+        Returns True when the merge committed, False on a no-op: the
+        run no longer exists (tiles were rebuilt, merged or renumbered
+        since planning — the crash-recovery replay path relies on this
+        being a clean no-op), mismatched levels, or a lost race.
+
+        Row order is preserved — the merged tile is the concatenation
+        of its inputs — so global row ids, morsel spans, child
+        ``_parent_row`` links and the cluster's canonical block layout
+        are untouched.  This is why compaction is safe on cluster
+        shards even though §3.2 reordering is forced off for them.
+
+        Concurrency contract: optimistic, like
+        :meth:`reorganize_partition`.  The expensive decode/mine/build
+        runs without any relation lock; the splice happens under
+        *append_guard* + ``_buffer_lock`` after re-verifying every
+        input by identity.  Inside the guarded section, *before* the
+        manifest swap commits, every input's resolved-column cache
+        entries and TileStore residency are invalidated by uid — the
+        same hole class as seal/recompute: a stale cached column must
+        never be servable once the merged tile is visible.
+        """
+        if self.text_rows is not None or count < 2:
+            return False
+        with self._buffer_lock:
+            start = next((index for index, tile in enumerate(self.tiles)
+                          if tile.header.tile_number == start_number),
+                         None)
+            if start is None:
+                return False
+            old_tiles = list(self.tiles[start : start + count])
+        if len(old_tiles) < count:
+            return False
+        level = old_tiles[0].header.level
+        if any(tile.header.level != level for tile in old_tiles):
+            return False  # the run dissolved (e.g. a concurrent merge)
+        # pin one input at a time while draining its JSONB heap — the
+        # byte strings stay alive by reference, so mining/extraction
+        # run unpinned and the residency budget never needs the whole
+        # run resident at once (reorganize's discipline).  The drained
+        # payloads are retained so retiring the inputs below never has
+        # to reload one that was evicted in the meantime.
+        jsonb_rows: List[bytes] = []
+        retained: Dict[int, object] = {}
+        for handle in old_tiles:
+            with handle.pinned() as payload:
+                jsonb_rows.extend(payload.jsonb_rows)
+                retained[id(handle)] = payload
+        documents = [jsonb_decode(row) for row in jsonb_rows]
+        merged = self.adopt_tile(build_tile(
+            documents, jsonb_rows, self.config,
+            old_tiles[0].tile_number, old_tiles[0].first_row,
+            mine=self.format.extracts_columns, level=level + 1))
+        if _COMPACT_COMMIT_BARRIER is not None:
+            # crash-injection point for recovery tests: the merged tile
+            # exists but the manifest still points at the old run
+            _COMPACT_COMMIT_BARRIER(self, old_tiles, merged)
+        guard = append_guard() if callable(append_guard) else append_guard
+        with (guard if guard is not None else nullcontext()):
+            with self._buffer_lock:
+                try:
+                    index = self.tiles.index(old_tiles[0])
+                except ValueError:
+                    return False  # lost the race: retry in a later cycle
+                current = self.tiles[index : index + count]
+                if len(current) != count or any(
+                        now is not then
+                        for now, then in zip(current, old_tiles)):
+                    return False
+                # satellite fix: invalidate the inputs' cached columns
+                # and residency BEFORE the swap commits — the guard
+                # excludes readers, so nothing can repopulate between
+                # here and the splice, and no stale entry survives into
+                # the post-merge world.  retire (not discard) keeps
+                # each input's payload alive for scans that enumerated
+                # an older manifest snapshot and pin it after the swap.
+                for old in old_tiles:
+                    GLOBAL_TILE_CACHE.invalidate_tile(old.uid)
+                    GLOBAL_TILE_STORE.retire(old, retained.get(id(old)))
+                self.tiles[index : index + count] = [merged]
+                self._rebuild_statistics_locked()
+                self._bump_manifest_locked()
+                self.lsm_counters["merges"] += 1
+                self.lsm_counters["docs_rewritten"] += len(documents)
+                self.lsm_counters["bytes_written"] += merged.nbytes
+        for old in old_tiles:
+            self._outlier_counts.pop(old.tile_number, None)
+        self._fire_event("compact", {
+            "tile": merged, "level": level + 1,
+            "inputs": [tile.header.tile_number for tile in old_tiles]})
         return True
 
     # ------------------------------------------------------------------

@@ -253,6 +253,10 @@ class TileStore:
         self.load_bytes = 0
         self.evictions = 0
         self.evicted_bytes = 0
+        #: handles explicitly released by recompute/reorganize/compact
+        #: (distinct from budget evictions: a discarded handle's old
+        #: payload can never be served again)
+        self.discards = 0
         self.peak_resident_bytes = 0
         self.evictions_by_table: Dict[str, int] = {}
 
@@ -381,13 +385,44 @@ class TileStore:
         self._notify_evicted(evicted)
 
     def discard(self, handle: TileHandle) -> None:
-        """A handle left its relation (recompute/reorganize/drop):
+        """A handle left its relation (drop table, replica reload):
         release its accounting and its payload reference."""
         with self._lock:
             self._drop_locked(id(handle))
             handle._tile = None
             handle._segment = None
             handle.dirty = False
+            self.discards += 1
+
+    def retire(self, handle: TileHandle, payload=None) -> None:
+        """Like :meth:`discard`, but keeps the payload readable.
+
+        The handle left its relation (LSM merge, recompute,
+        reorganize) yet a reader that enumerated an older manifest
+        snapshot may still pin it.  The payload is re-attached from
+        *payload* (the Tile the replacer drained, if it kept one) or
+        loaded now — while the backing segment is still valid — then
+        the residency charge and the segment binding are dropped.  The
+        handle can no longer be evicted (it has no store entry) or
+        reloaded (the next checkpoint may overwrite its segment's
+        file); its bytes are freed with the last snapshot reference.
+        """
+        with handle._load_lock:
+            with self._lock:
+                tile = handle._tile
+                segment = handle._segment
+            if tile is None and payload is not None:
+                tile = payload
+            if tile is None and segment is not None:
+                tile = segment.load(handle.header, handle.first_row)
+                tile.uid = handle.uid
+            with self._lock:
+                if handle._tile is None:
+                    handle._tile = tile
+                self._drop_locked(id(handle))
+                handle._segment = None
+                handle.dirty = False
+                self.discards += 1
 
     def discard_table(self, table: str) -> int:
         """Drop every resident entry of one table (drop table, server
@@ -507,6 +542,7 @@ class TileStore:
                 "load_bytes": self.load_bytes,
                 "evictions": self.evictions,
                 "evicted_bytes": self.evicted_bytes,
+                "discards": self.discards,
                 "peak_resident_bytes": self.peak_resident_bytes,
                 "evictions_by_table": dict(self.evictions_by_table),
             }

@@ -180,6 +180,7 @@ def build_tile(documents: Sequence[object], jsonb_rows: List[bytes],
                mine: bool = True,
                timings: Optional[Dict[str, float]] = None,
                encoded: Optional[Tuple[ItemDictionary, List[List[int]]]] = None,
+               level: int = 0,
                ) -> Tile:
     """Construct one tile from parsed documents + their JSONB bytes.
 
@@ -191,11 +192,13 @@ def build_tile(documents: Sequence[object], jsonb_rows: List[bytes],
     the insertion-time breakdown of Figure 16.  *encoded* passes a
     pre-computed (dictionary, transactions) pair so the loader does not
     traverse every document twice when reordering already collected the
-    key paths.
+    key paths.  *level* stamps the LSM level onto the header (0 for
+    freshly sealed tiles; compaction merges pass the next level).
     """
     num_rows = len(documents)
     header = TileHeader(tile_number, num_rows,
-                        max_array_elements=config.max_array_elements)
+                        max_array_elements=config.max_array_elements,
+                        level=level)
     started = time.perf_counter()
     if encoded is not None:
         dictionary, transactions = encoded

@@ -41,10 +41,15 @@ class TileHeader:
     """Per-tile schema + key statistics, pointed to by the relation."""
 
     def __init__(self, tile_number: int, row_count: int,
-                 max_array_elements: int = 8):
+                 max_array_elements: int = 8, level: int = 0):
         self.tile_number = tile_number
         self.row_count = row_count
         self.max_array_elements = max_array_elements
+        #: LSM level (repro.lsm): 0 for freshly sealed tiles, +1 per
+        #: compaction merge.  Purely descriptive for reads — scans
+        #: treat all levels alike — but the compaction planner keys
+        #: runs off it, so it persists with the header.
+        self.level = level
         self.columns: Dict[KeyPath, ExtractedColumn] = {}
         self.key_counts: Dict[str, int] = {}
         self.unextracted_paths = BloomFilter(expected_items=64)
@@ -120,7 +125,8 @@ class TileHeader:
     def describe(self) -> str:
         """Human-readable summary used by examples and debugging."""
         lines = [f"tile #{self.tile_number}: {self.row_count} rows, "
-                 f"{len(self.columns)} extracted columns"]
+                 f"{len(self.columns)} extracted columns"
+                 + (f", level {self.level}" if self.level else "")]
         for column in self.columns.values():
             flags = []
             if column.is_datetime:
