@@ -1,0 +1,155 @@
+"""Late materialization vs eager fallback decode (DESIGN.md §9).
+
+A selective predicate on an *extracted* int column guards a projection
+of four *fallback* paths (each present in ~25 % of rows, below the
+60 % extraction threshold, so every lookup walks JSONB).  With late
+materialization the early conjunct runs on the cheap column vector
+first and only the surviving rows are shredded; eagerly, every row of
+every surviving tile is decoded four times.  At 1–10 % selectivity the
+skipped decodes dominate and the scan should win by well over 3x.
+
+The predicate column (``v``) is value-scattered across tiles on
+purpose: tile- and block-granular zone maps cannot skip anything, so
+every tile survives and the sweep isolates the selection vector —
+the paper's worst case for pruning, the best case for showing what
+late decode alone buys.
+
+The tile cache is disabled for both modes: it stores *full* resolved
+columns (keys stay selection-independent), so with it warm neither
+mode decodes anything and the comparison would measure dict lookups.
+
+Every timed query is checked bit-identical between modes, and the
+``fallback_rows_skipped`` counter proves the selection vector actually
+engaged.  Besides the human-readable table, the sweep writes
+``benchmarks/results/BENCH_latemat.json`` for trend tooling.
+"""
+
+import json
+import struct
+import time
+from pathlib import Path
+
+from repro import Database, QueryOptions, StorageFormat
+from repro.tiles import ExtractionConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+CONFIG = ExtractionConfig(tile_size=4096, partition_size=8)
+
+NUM_ROWS = 40_000
+BATCH_ROWS = 4096
+FALLBACK_PATHS = 4
+
+
+VALUE_MODULUS = 7919  # v = (i * 13) % 7919: uniform, order-free
+
+
+def _sql(limit):
+    return (
+        "select t.data->>'k'::int as k, t.data->>'fb0' as a, "
+        "t.data->>'fb1' as b, t.data->>'fb2' as c, t.data->>'fb3' as d "
+        f"from t t where t.data->>'v'::int < {limit} order by k")
+
+
+def _load(num_rows=NUM_ROWS):
+    # `k` and `v` appear in every row and extract; each `fbN` appears
+    # in 1/4 of rows, stays under the extraction threshold, and is a
+    # fallback lookup forever after
+    rows = []
+    for i in range(num_rows):
+        doc = {"k": i, "v": (i * 13) % VALUE_MODULUS}
+        doc[f"fb{i % FALLBACK_PATHS}"] = f"payload-{i % 977}"
+        rows.append(doc)
+    db = Database(StorageFormat.TILES, CONFIG)
+    db.load_table("t", rows)
+    return db
+
+
+def _bits(value):
+    if isinstance(value, float):
+        return ("f", struct.pack("<d", value))
+    return (type(value).__name__, value)
+
+
+def _run(db, sql, late, repeats=3):
+    best, result = float("inf"), None
+    options = QueryOptions(enable_late_materialization=late,
+                           tile_cache=False, batch_rows=BATCH_ROWS)
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = db.sql(sql, options)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _compare(db, sql, repeats=3):
+    on_s, on = _run(db, sql, True, repeats)
+    off_s, off = _run(db, sql, False, repeats)
+    assert on.columns == off.columns
+    assert len(on.rows) == len(off.rows)
+    for row_on, row_off in zip(on.rows, off.rows):
+        assert [_bits(v) for v in row_on] == [_bits(v) for v in row_off]
+    assert on.counters.fallback_rows_skipped > 0
+    assert on.counters.latemat_declines == 0
+    assert off.counters.fallback_rows_skipped == 0
+    return on_s, off_s, on
+
+
+def test_latemat_sweep(benchmark, report):
+    db = _load()
+    selectivities = [0.01, 0.05, 0.10, 0.50]
+    rows, cases = [], []
+    for fraction in selectivities:
+        limit = int(VALUE_MODULUS * fraction)
+        on_s, off_s, on = _compare(db, _sql(limit))
+        speedup = off_s / on_s
+        rows.append([f"{fraction:.0%}", f"{off_s * 1000:.0f}",
+                     f"{on_s * 1000:.0f}", f"{speedup:.1f}x",
+                     f"{on.counters.fallback_rows_skipped}"])
+        cases.append({
+            "selectivity": fraction,
+            "eager_ms": round(off_s * 1000, 3),
+            "late_ms": round(on_s * 1000, 3),
+            "speedup": round(speedup, 2),
+            "fallback_rows_skipped": on.counters.fallback_rows_skipped,
+            "blocks_pruned": on.counters.blocks_pruned,
+        })
+    benchmark.pedantic(
+        lambda: _run(db, _sql(int(VALUE_MODULUS * 0.05)), True, 1),
+        rounds=3, iterations=1)
+
+    out = report("latemat", "Late materialization vs eager decode "
+                            f"({NUM_ROWS} rows, {FALLBACK_PATHS} "
+                            f"fallback paths, batch {BATCH_ROWS})")
+    out.note("min of 3 runs, tile cache off; results bit-identical at "
+             "every selectivity, fallback_rows_skipped > 0, no declines")
+    out.table(["selectivity", "eager ms", "late ms", "speedup",
+               "fallback rows skipped"], rows)
+    out.emit()
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {"name": "latemat", "rows": NUM_ROWS,
+               "fallback_paths": FALLBACK_PATHS,
+               "batch_rows": BATCH_ROWS, "cases": cases}
+    (RESULTS_DIR / "BENCH_latemat.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    # ISSUE 9 floor: >= 3x at <= 10% selectivity (committed results
+    # show far more at 1%); 50% is reported but not gated
+    for case in cases:
+        if case["selectivity"] <= 0.10:
+            assert case["speedup"] >= 3.0, case
+
+
+def test_latemat_smoke(report):
+    """CI smoke: small dataset, identity + counter checks only."""
+    db = _load(4000)
+    for limit in (80, 800):
+        on_s, on = _run(db, _sql(limit), True, 1)
+        off_s, off = _run(db, _sql(limit), False, 1)
+        assert on.columns == off.columns
+        for row_on, row_off in zip(on.rows, off.rows):
+            assert [_bits(v) for v in row_on] == \
+                [_bits(v) for v in row_off]
+        assert on.counters.fallback_rows_skipped > 0
+        assert off.counters.fallback_rows_skipped == 0

@@ -33,10 +33,11 @@ def _describe(node, analyze: bool = False) -> str:
                    if node.parallelism > 1 else "")
         cache = ", cached" if node.use_cache else ""
         shred = ", shredded" if node.multipath_shred else ""
+        latemat = ", late-materialized" if node.late_materialization else ""
         text = (f"TableScan {node.relation.name} "
                 f"[{node.relation.format.value}] "
                 f"({len(node.requests)} accesses{predicate}{skips}{prunes}"
-                f"{workers}{cache}{shred})")
+                f"{workers}{cache}{shred}{latemat})")
         if analyze:
             stats = ", ".join(f"{name}={value}" for name, value
                               in node.counters.as_dict().items())
@@ -59,7 +60,7 @@ def _describe(node, analyze: bool = False) -> str:
         return f"HashAggregate keys={keys} aggs={aggs}" \
             + _kernel_stats(node, analyze)
     if isinstance(node, op.FilterOp):
-        return "Filter"
+        return "Filter (pushed into scan)" if node.pre_applied else "Filter"
     if isinstance(node, op.ProjectOp):
         return f"Project {[name for name, _ in node.outputs]}"
     if isinstance(node, op.SortOp):

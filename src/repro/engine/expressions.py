@@ -159,19 +159,38 @@ def _align_numeric(left: ColumnVector,
             rdata = rdata.astype(np.float64)
         return ldata, rdata
     if left.data.dtype == object or right.data.dtype == object:
-        # NULL slots of object arrays hold None, which breaks < on
-        # strings; substitute empty strings (masked out anyway).
-        ldata = _fill_object_nulls(left)
-        rdata = _fill_object_nulls(right)
+        # NULL slots of object arrays hold None, which breaks < on the
+        # payload type; substitute a comparable placeholder (the slots
+        # are masked out of the verdict anyway).
+        ldata = _fill_object_nulls(left, right)
+        rdata = _fill_object_nulls(right, left)
         return ldata, rdata
     return ldata, rdata
 
 
-def _fill_object_nulls(vector: ColumnVector) -> np.ndarray:
+def _first_non_null(vector: ColumnVector):
+    slots = np.flatnonzero(~vector.null_mask)
+    if len(slots):
+        return vector.data[slots[0]]
+    return None
+
+
+def _fill_object_nulls(vector: ColumnVector,
+                       other: Optional[ColumnVector] = None) -> np.ndarray:
+    """Replace NULL slots of an object array with a placeholder drawn
+    from the column's own values (or the other side's, when this side
+    is all NULL).  An empty string is only right for string payloads —
+    a decimal-as-object column needs a numeric placeholder or ``<``
+    raises TypeError on the unmasked compare."""
     if vector.data.dtype != object or not vector.null_mask.any():
         return vector.data
+    placeholder = _first_non_null(vector)
+    if placeholder is None and other is not None:
+        placeholder = _first_non_null(other)
+    if placeholder is None:
+        placeholder = ""
     data = vector.data.copy()
-    data[vector.null_mask] = ""
+    data[vector.null_mask] = placeholder
     return data
 
 
@@ -322,15 +341,25 @@ class InList(Expression):
 
     def evaluate(self, batch: Batch) -> ColumnVector:
         value = self.operand.evaluate(batch)
+        nulls = value.null_mask
         if value.data.dtype == object:
             members = set(self.values)
-            data = np.fromiter((item in members for item in value.data),
-                               dtype=bool, count=len(value.data))
+            if nulls.any():
+                # membership-test only the non-null slots; NULL slots
+                # are masked out of the verdict regardless
+                data = np.zeros(len(value.data), dtype=bool)
+                slots = np.flatnonzero(~nulls)
+                data[slots] = np.fromiter(
+                    (item in members for item in value.data[slots]),
+                    dtype=bool, count=len(slots))
+            else:
+                data = np.fromiter((item in members for item in value.data),
+                                   dtype=bool, count=len(value.data))
         else:
             data = np.isin(value.data, np.array(self.values))
         if self.negated:
             data = ~data
-        return ColumnVector(ColumnType.BOOL, data, value.null_mask.copy())
+        return ColumnVector(ColumnType.BOOL, data, nulls)
 
 
 class Like(Expression):
@@ -350,14 +379,25 @@ class Like(Expression):
     def evaluate(self, batch: Batch) -> ColumnVector:
         value = self.operand.evaluate(batch)
         match = self._regex.match
-        data = np.fromiter(
-            (bool(match(item)) if isinstance(item, str) else False
-             for item in value.data),
-            dtype=bool, count=len(value.data),
-        )
+        nulls = value.null_mask
+        if nulls.any():
+            # match only the non-null slots; NULL slots are masked out
+            # of the verdict regardless
+            data = np.zeros(len(value.data), dtype=bool)
+            slots = np.flatnonzero(~nulls)
+            data[slots] = np.fromiter(
+                (bool(match(item)) if isinstance(item, str) else False
+                 for item in value.data[slots]),
+                dtype=bool, count=len(slots))
+        else:
+            data = np.fromiter(
+                (bool(match(item)) if isinstance(item, str) else False
+                 for item in value.data),
+                dtype=bool, count=len(value.data),
+            )
         if self.negated:
             data = ~data
-        return ColumnVector(ColumnType.BOOL, data, value.null_mask.copy())
+        return ColumnVector(ColumnType.BOOL, data, nulls)
 
 
 class Case(Expression):

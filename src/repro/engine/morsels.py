@@ -174,6 +174,19 @@ def map_ordered(fn: Callable[..., T], items: Iterable,
     return list(run_ordered(thunks, workers))
 
 
+def canonical_chop(batch_rows: int, tile_size: int) -> int:
+    """The canonical scan block: tiles are chopped at multiples of
+    ``min(batch_rows, tile_size)`` rows, not at their physical row
+    counts.  Legacy tiles never exceed ``tile_size`` rows, so nothing
+    changes for them — but an LSM-merged tile (fanout × tile_size
+    rows) is sliced exactly where its inputs' boundaries were, which
+    keeps per-batch float folds bit-exact with compaction on or off.
+    The per-block zone maps (DESIGN.md §9) are defined over the same
+    chop, so ``TableScan.morsels`` and the cluster's
+    ``partial._chunk_spans`` prune identical row ranges."""
+    return max(1, min(batch_rows, tile_size))
+
+
 def block_ranges(total: int, block: int) -> Iterator[tuple]:
     """Aligned ``[start, stop)`` ranges of size *block* covering
     ``range(total)`` (the last range may be short).

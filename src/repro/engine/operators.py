@@ -55,11 +55,20 @@ class BatchSource(Operator):
 
 
 class FilterOp(Operator):
-    def __init__(self, child: Operator, predicate: Expression):
+    def __init__(self, child: Operator, predicate: Expression,
+                 pre_applied: bool = False):
         self.child = child
         self.predicate = predicate
+        #: the optimizer already pushed this predicate into the scan
+        #: below (where the late-materialization split can use it); the
+        #: operator stays in the tree as a plan-shape/EXPLAIN marker
+        #: and passes batches through untouched
+        self.pre_applied = pre_applied
 
     def batches(self) -> Iterator[Batch]:
+        if self.pre_applied:
+            yield from self.child.batches()
+            return
         for batch in self.child.batches():
             verdict = self.predicate.evaluate(batch)
             keep = verdict.data.astype(bool) & ~verdict.null_mask
@@ -98,7 +107,8 @@ def _extract_pipeline(op):
             transforms.reverse()
             return node, transforms
         if isinstance(node, FilterOp):
-            transforms.append(("filter", node.predicate))
+            if not node.pre_applied:  # pre-applied: the scan filters
+                transforms.append(("filter", node.predicate))
             node = node.child
         elif isinstance(node, ProjectOp):
             transforms.append(("project", node.outputs))

@@ -106,7 +106,16 @@ class Planner:
                 enable_kernels=self.options.enable_kernels))
 
         for residual in residuals:
-            tree = FilterOp(tree, residual)
+            if isinstance(tree, TableScan):
+                # a residual directly above a scan is row-local by
+                # construction: push it into the scan (where the
+                # late-materialization split can use it) and keep the
+                # FilterOp as a pre-applied marker so plan shape and
+                # EXPLAIN output stay stable
+                tree.add_predicate(residual)
+                tree = FilterOp(tree, residual, pre_applied=True)
+            else:
+                tree = FilterOp(tree, residual)
 
         for subquery in block.subquery_filters:
             inner = self.plan_block(subquery.block, raw=subquery.raw)
@@ -504,14 +513,15 @@ class Planner:
     def _plan_source_with_filters(self, item: PlannedScan) -> Operator:
         source = item.source
         if isinstance(source, ScanSource):
-            predicate = None
-            for flt in item.filters:
-                predicate = flt if predicate is None else ex.BoolAnd(
-                    predicate, flt)
+            # the conjunct list (not a folded tree) reaches the scan so
+            # late materialization can split it per tile into
+            # extracted-only vs fallback-dependent conjuncts
             scan = TableScan(
                 source.relation,
                 list(source.requests.values()),
-                predicate=predicate,
+                predicates=list(item.filters),
+                late_materialization=(
+                    self.options.enable_late_materialization),
                 skip_paths=sorted(item.skip_paths),
                 range_prunes=self._range_prunes(source, item.filters),
                 enable_skipping=self.options.enable_skipping,

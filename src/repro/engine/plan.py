@@ -44,6 +44,15 @@ def _default_kernels() -> bool:
     return raw.lower() in ("1", "true", "yes", "on")
 
 
+def _default_latemat() -> bool:
+    """On unless ``REPRO_LATEMAT`` disables it (differential tests
+    ablate the selection-vector scan against eager materialization)."""
+    raw = os.environ.get("REPRO_LATEMAT", "")
+    if not raw:
+        return True
+    return raw.lower() in ("1", "true", "yes", "on")
+
+
 def alias_of_column(name: str) -> str:
     """Recover the source alias from a column name.
 
@@ -183,3 +192,9 @@ class QueryOptions:
     #: per-tuple reference paths; results are bit-identical either way
     #: (the differential suite asserts it).
     enable_kernels: bool = field(default_factory=_default_kernels)
+    #: late materialization (DESIGN.md §9): evaluate extracted-only
+    #: filter conjuncts first and decode fallback/JSONB columns only
+    #: for the surviving rows; per-tile decline keeps results
+    #: bit-identical to eager materialization either way.
+    enable_late_materialization: bool = field(
+        default_factory=_default_latemat)

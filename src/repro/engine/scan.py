@@ -25,6 +25,17 @@ ablation.  Counter semantics are independent of the switch:
 ``fallback_lookups`` counts *logical* path resolutions (tuples ×
 paths), so Table-5-style numbers are comparable between modes, while
 ``shred_passes`` / ``shred_paths`` expose the physical walk sharing.
+
+Late materialization (DESIGN.md §9): when the pushed-down predicate
+splits into conjuncts that only touch directly-resolved (extracted)
+columns and conjuncts that need the fallback, the scan evaluates the
+cheap conjuncts first and decodes fallback columns only for the rows
+that survive.  The contract is bit-identical-or-decline: a tile whose
+slice needs Section 3.4 conflict patching, or whose predicate has no
+extracted-only conjunct, falls back to full materialization for that
+tile (counted in ``latemat_declines``).  With late materialization on,
+``fallback_lookups`` counts the *selected* tuples only — the rows the
+selection vector spared are in ``fallback_rows_skipped``.
 """
 
 from __future__ import annotations
@@ -41,8 +52,8 @@ from repro.core.datetimes import parse_datetime_string
 from repro.core.jsonpath import KeyPath
 from repro.core.types import ColumnType
 from repro.engine.batch import Batch
-from repro.engine.expressions import Expression
-from repro.engine.morsels import Morsel, run_ordered
+from repro.engine.expressions import BoolAnd, Expression
+from repro.engine.morsels import Morsel, canonical_chop, run_ordered
 from repro.jsonb.access import JsonbValue
 from repro.jsonb.shred import ShredPlan, compile_paths, shred_jsonb, \
     shred_python
@@ -114,6 +125,20 @@ class ScanCounters:
     #: that ran on the per-tuple reference path despite
     #: ``enable_kernels`` — the vectorized-coverage gap.
     fallback_rows: int = 0
+    #: canonical-chop blocks inside surviving tiles whose per-block
+    #: zone maps excluded the pushed comparisons (DESIGN.md §9) —
+    #: finer-grained than ``tiles_skipped``, and their rows never
+    #: count into ``rows_scanned``.
+    blocks_pruned: int = 0
+    #: (tuple, path) fallback decodes the late-materialization
+    #: selection vector avoided: rows the cheap extracted-column
+    #: conjuncts already rejected were never shredded.
+    fallback_rows_skipped: int = 0
+    #: tiles where late materialization was requested but declined —
+    #: the slice needed Section 3.4 conflict patching, or no conjunct
+    #: was evaluable on extracted columns alone (full materialization
+    #: ran instead; results are identical either way).
+    latemat_declines: int = 0
 
     def merge(self, other: "ScanCounters") -> "ScanCounters":
         for field in fields(self):
@@ -165,10 +190,27 @@ class TableScan:
                  batch_rows: int = 4096,
                  parallelism: int = 1,
                  use_cache: bool = False,
-                 multipath_shred: bool = True):
+                 multipath_shred: bool = True,
+                 predicates: Optional[Sequence[Expression]] = None,
+                 late_materialization: bool = False):
         self.relation = relation
         self.requests = list(requests)
-        self.predicate = predicate
+        #: pushed-down predicate as an ANDed conjunct list — the unit
+        #: the late-materialization split works on.  ``predicate`` (a
+        #: single folded tree) is kept for callers that build one
+        #: expression; both spellings evaluate identically (Kleene AND
+        #: keep-masks intersect).
+        if predicates is not None:
+            self.predicates: List[Expression] = list(predicates)
+            folded = None
+            for conjunct in self.predicates:
+                folded = conjunct if folded is None else BoolAnd(folded,
+                                                                 conjunct)
+            self.predicate = folded
+        else:
+            self.predicate = predicate
+            self.predicates = [] if predicate is None else [predicate]
+        self.late_materialization = late_materialization
         self.skip_paths = list(skip_paths)
         self.range_prunes = list(range_prunes)
         self.enable_skipping = enable_skipping
@@ -186,6 +228,14 @@ class TableScan:
         #: may race to build the same plan — compilation is pure, so
         #: last-write-wins is harmless
         self._shred_plans: Dict[tuple, ShredPlan] = {}
+
+    def add_predicate(self, conjunct: Expression) -> None:
+        """Push one more ANDed conjunct into the scan (the optimizer
+        folds row-local residuals in here; keep-mask intersection makes
+        the order immaterial)."""
+        self.predicates.append(conjunct)
+        self.predicate = conjunct if self.predicate is None else BoolAnd(
+            self.predicate, conjunct)
 
     # ------------------------------------------------------------------
     # morsel enumeration + dispatch
@@ -216,8 +266,8 @@ class TableScan:
         # grouping lives; this is what makes query results bit-exact
         # with compaction on vs off (the same trick the cluster's
         # partial merge plays across drifted shard tile boundaries).
-        block = max(1, min(self.batch_rows,
-                           self.relation.config.tile_size))
+        block = canonical_chop(self.batch_rows,
+                               self.relation.config.tile_size)
         for tile in self.relation.manifest().tiles:
             self.counters.tiles_total += 1
             if self._can_skip(tile):
@@ -229,6 +279,15 @@ class TableScan:
                 self.levels_scanned.get(level, 0) + 1
             for start in range(0, tile.row_count, block):
                 stop = min(start + block, tile.row_count)
+                if self._can_skip_block(tile, start, stop):
+                    # block-granular zone maps (DESIGN.md §9): inside
+                    # a surviving (typically LSM-merged) tile, whole
+                    # canonical-chop blocks whose per-block bounds
+                    # exclude the pushed comparisons never reach a
+                    # worker
+                    self.counters.blocks_pruned += 1
+                    self.counters.rows_scanned -= stop - start
+                    continue
                 morsels.append(Morsel(len(morsels), tile, start, stop))
         return morsels
 
@@ -237,16 +296,18 @@ class TableScan:
         worker thread (counters fold under a lock)."""
         local = ScanCounters()
         if morsel.tile is None:
-            batch = self._resolve_text(morsel.start, morsel.stop, local)
+            batch = self._apply_predicate(
+                self._resolve_text(morsel.start, morsel.stop, local))
         else:
             # pin for the duration of the morsel: the payload cannot be
             # evicted while its columns are being sliced (the produced
             # batch keeps the underlying arrays alive by reference, so
-            # eviction after unpin is safe)
+            # eviction after unpin is safe).  _resolve_tile applies the
+            # pushed predicates itself — the late-materialization path
+            # needs them *before* the fallback columns exist.
             with morsel.tile.pinned(local) as tile:
                 batch = self._resolve_tile(tile, morsel.start,
                                            morsel.stop, local)
-        batch = self._apply_predicate(batch)
         with self._counters_lock:
             self.counters.merge(local)
         return batch
@@ -283,6 +344,43 @@ class TableScan:
         for prune in self.range_prunes:
             bounds = tile.header.column_bounds(prune.path)
             if bounds is not None and prune.excludes(*bounds):
+                return True
+        return False
+
+    def _can_skip_block(self, tile, start: int, stop: int) -> bool:
+        """Block-granular zone maps: skip ``[start, stop)`` of a
+        surviving tile when one pushed comparison excludes every
+        ``tile_size`` bound-block the range overlaps.  An all-NULL
+        bound-block is excluded by any prune (comparisons are
+        null-rejecting, same argument as :meth:`_can_skip`); an
+        unknown block (``None`` — incomparable mixed values) never
+        prunes."""
+        if not self.enable_skipping or not self.range_prunes:
+            return False
+        if not self.relation.format.supports_skipping:
+            return False
+        header = tile.header
+        rows_per = getattr(header, "block_bounds_rows", 0)
+        if rows_per <= 0:
+            return False
+        first = start // rows_per
+        last = (stop - 1) // rows_per
+        for prune in self.range_prunes:
+            entries = header.block_bounds_for(prune.path)
+            if entries is None or last >= len(entries):
+                continue
+            excluded = True
+            for index in range(first, last + 1):
+                entry = entries[index]
+                if entry is None:
+                    excluded = False
+                    break
+                if not entry:  # all-NULL block: no row can satisfy
+                    continue
+                if not prune.excludes(entry[0], entry[1]):
+                    excluded = False
+                    break
+            if excluded:
                 return True
         return False
 
@@ -333,12 +431,87 @@ class TableScan:
                                           direct.null_mask)
                     conflicts.append((request, direct, stored_nulls))
             resolved[request.name] = direct
+        if self.late_materialization and fallback and self.predicates:
+            # late materialization (DESIGN.md §9): filter on the cheap
+            # directly-resolved columns first, decode the fallback only
+            # for surviving rows.  Decline to the eager path — full
+            # materialization, identical results — when the slice needs
+            # conflict patching (a cheap conjunct must never see an
+            # unpatched outlier NULL) or when no conjunct is evaluable
+            # on extracted columns alone.
+            early, late = self._split_predicates(resolved)
+            if early and not conflicts:
+                return self._resolve_tile_late(tile, start, stop, counters,
+                                               resolved, fallback,
+                                               early, late)
+            counters.latemat_declines += 1
         if fallback:
             resolved.update(self._fallback_group(tile, fallback, start,
                                                  stop, counters))
         if conflicts:
             self._patch_conflicts(tile, conflicts, start, counters)
-        return Batch(resolved, stop - start)
+        return self._apply_predicate(Batch(resolved, stop - start))
+
+    def _split_predicates(
+            self, resolved: Dict[str, Optional[ColumnVector]]
+    ) -> Tuple[List[Expression], List[Expression]]:
+        """Partition the conjunct list into *early* (every referenced
+        column resolved directly from tile storage) and *late* (needs a
+        fallback column) for one tile slice.  The split is per-tile: a
+        path extracted in one tile may be fallback in the next."""
+        direct = {name for name, vector in resolved.items()
+                  if vector is not None}
+        early: List[Expression] = []
+        late: List[Expression] = []
+        for conjunct in self.predicates:
+            refs = conjunct.referenced_columns()
+            if all(name in direct for name in refs):
+                early.append(conjunct)
+            else:
+                late.append(conjunct)
+        return early, late
+
+    def _resolve_tile_late(self, tile: Tile, start: int, stop: int,
+                           counters: ScanCounters,
+                           resolved: Dict[str, Optional[ColumnVector]],
+                           fallback: List[AccessRequest],
+                           early: List[Expression],
+                           late: List[Expression]) -> Batch:
+        """Selection-vector scan of one tile slice: early conjuncts run
+        on the direct columns, the selection they produce gates the
+        fallback decode, late conjuncts run on the completed batch.
+        Keep-mask intersection over conjuncts equals evaluating the
+        folded Kleene AND, and the per-row shred is independent of its
+        neighbours — so the surviving rows, their order and every
+        column value are bit-identical to the eager path."""
+        total = stop - start
+        direct_batch = Batch({name: vector for name, vector
+                              in resolved.items() if vector is not None},
+                             total)
+        keep = np.ones(total, dtype=bool)
+        for conjunct in early:
+            verdict = conjunct.evaluate(direct_batch)
+            keep &= verdict.data.astype(bool) & ~verdict.null_mask
+        selection = None if keep.all() else np.flatnonzero(keep)
+        decoded = self._fallback_group(tile, fallback, start, stop,
+                                       counters, selection=selection)
+        if selection is None:
+            columns = {name: (decoded[name] if vector is None else vector)
+                       for name, vector in resolved.items()}
+            batch = Batch(columns, total)
+        else:
+            columns = {name: (decoded[name] if vector is None
+                              else vector.filter(keep))
+                       for name, vector in resolved.items()}
+            batch = Batch(columns, len(selection))
+        for conjunct in late:
+            if batch.length == 0:
+                break
+            verdict = conjunct.evaluate(batch)
+            keep_late = verdict.data.astype(bool) & ~verdict.null_mask
+            if not keep_late.all():
+                batch = batch.filter(keep_late)
+        return batch
 
     def _convert_column(self, column: ColumnVector, meta, request,
                         start: int, stop: int) -> Optional[ColumnVector]:
@@ -409,19 +582,29 @@ class TableScan:
 
     def _fallback_group(self, tile: Tile, requests: List[AccessRequest],
                         start: int, stop: int,
-                        counters: ScanCounters) -> Dict[str, ColumnVector]:
+                        counters: ScanCounters,
+                        selection: Optional[np.ndarray] = None) \
+            -> Dict[str, ColumnVector]:
+        """*selection* (slice-local row offsets, or ``None`` for all)
+        is the late-materialization selection vector: only selected
+        tuples are decoded.  The cache path ignores it for *storing* —
+        a miss still decodes the full tile so cache keys stay
+        selection-independent — and applies it when slicing out the
+        result."""
         counters.fallback_tiles += len(requests)
         if not self.use_cache:
             return self._decode_fallback_group(tile, requests, start, stop,
-                                               counters)
+                                               counters, selection)
         keys = {request.name: make_key(self.relation.name, tile.uid,
                                        request.path, request.target,
                                        request.as_text)
                 for request in requests}
         resolved: Dict[str, ColumnVector] = {}
         missing: List[AccessRequest] = []
+        found = GLOBAL_TILE_CACHE.lookup_many(
+            [keys[request.name] for request in requests])
         for request in requests:
-            cached = GLOBAL_TILE_CACHE.lookup(keys[request.name])
+            cached = found.get(keys[request.name])
             if cached is None:
                 counters.cache_misses += 1
                 missing.append(request)
@@ -439,6 +622,11 @@ class TableScan:
             GLOBAL_TILE_CACHE.store_many(
                 (keys[name], vector) for name, vector in decoded.items())
             resolved.update(decoded)
+        if selection is not None:
+            offsets = selection + start
+            return {name: ColumnVector(vector.type, vector.data[offsets],
+                                       vector.null_mask[offsets])
+                    for name, vector in resolved.items()}
         if start == 0 and stop == tile.row_count:
             return resolved
         return {name: ColumnVector(vector.type, vector.data[start:stop],
@@ -448,13 +636,23 @@ class TableScan:
     def _decode_fallback_group(self, tile: Tile,
                                requests: List[AccessRequest],
                                start: int, stop: int,
-                               counters: ScanCounters) \
+                               counters: ScanCounters,
+                               selection: Optional[np.ndarray] = None) \
             -> Dict[str, ColumnVector]:
         """Resolve a group of fallback requests over one tuple range.
 
         ``fallback_lookups`` counts logical (tuple, path) resolutions —
-        identical whichever physical strategy runs below."""
-        counters.fallback_lookups += (stop - start) * len(requests)
+        identical whichever physical strategy runs below.  With a
+        *selection*, only the selected tuples count (the spared ones go
+        to ``fallback_rows_skipped``): the decode genuinely never
+        touches them."""
+        if selection is None:
+            row_indices: Sequence[int] = range(start, stop)
+        else:
+            row_indices = [start + int(offset) for offset in selection]
+            counters.fallback_rows_skipped += \
+                ((stop - start) - len(row_indices)) * len(requests)
+        counters.fallback_lookups += len(row_indices) * len(requests)
         builders = {
             request.name: ColumnBuilder(
                 ColumnType.JSONB if request.target == ColumnType.JSONB
@@ -467,7 +665,7 @@ class TableScan:
                 append = builders[request.name].append
                 getter = _jsonb_getter(request)
                 path = request.path
-                for row in range(start, stop):
+                for row in row_indices:
                     value = JsonbValue(rows[row]).get_path(path)
                     append(None if value is None else getter(value))
             return {name: builder.finish()
@@ -475,13 +673,13 @@ class TableScan:
         plan = self._plan_for(tuple(sorted({r.path for r in requests})))
         slots = [(plan.slots[request.path], _jsonb_getter(request),
                   builders[request.name].append) for request in requests]
-        for row in range(start, stop):
+        for row in row_indices:
             values = shred_jsonb(plan, rows[row])
             for slot, getter, append in slots:
                 value = values[slot]
                 append(None if value is None else getter(value))
-        counters.shred_passes += stop - start
-        counters.shred_paths += (stop - start) * len(plan)
+        counters.shred_passes += len(row_indices)
+        counters.shred_paths += len(row_indices) * len(plan)
         return {name: builder.finish() for name, builder in builders.items()}
 
     def _patch_conflicts(self, tile: Tile,

@@ -99,6 +99,7 @@ class JsonTilesServer:
                  memory_mb: Optional[float] = None,
                  multipath_shred: Optional[bool] = None,
                  enable_kernels: Optional[bool] = None,
+                 late_materialization: Optional[bool] = None,
                  checkpoint_interval: Optional[float] = None,
                  maintenance: bool = False,
                  maintenance_config: Optional[MaintenanceConfig] = None,
@@ -132,6 +133,11 @@ class JsonTilesServer:
             # None keeps the QueryOptions default (on, or the
             # REPRO_KERNELS override)
             self.default_options.enable_kernels = enable_kernels
+        if late_materialization is not None:
+            # None keeps the QueryOptions default (on, or the
+            # REPRO_LATEMAT override)
+            self.default_options.enable_late_materialization = \
+                late_materialization
         self.checkpoint_interval = checkpoint_interval
         #: online maintenance (DESIGN.md §6d): tile health, §3.2
         #: reordering and re-extraction as a background asyncio task

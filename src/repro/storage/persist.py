@@ -294,6 +294,11 @@ def _tile_payload_meta(tile: Tile, blobs: _BlobWriter) -> dict:
             for path, stats in header.statistics.columns.items()
         },
         "columns": columns,
+        # per-block zone maps (DESIGN.md §9); entries are JSON-plain
+        # ([min, max] lists, [] for all-NULL, null for incomparable)
+        "block_rows": header.block_bounds_rows,
+        "block_bounds": {str(path): entries
+                         for path, entries in header.block_bounds.items()},
         "rows": blobs.add(_encode_rows(tile.jsonb_rows)),
     }
 
@@ -330,6 +335,11 @@ def _restore_tile_header(meta: dict, blobs) -> TileHeader:
             nullable=column_meta["nullable"],
             is_datetime=column_meta["datetime"],
         ))
+    # pre-§9 snapshots carry no block bounds: block pruning simply
+    # stays tile-granular for them
+    header.block_bounds_rows = int(meta.get("block_rows", 0))
+    for path_text, entries in (meta.get("block_bounds") or {}).items():
+        header.block_bounds[KeyPath.parse(path_text)] = entries
     return header
 
 

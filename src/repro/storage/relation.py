@@ -378,6 +378,7 @@ class Relation:
                     # widen the tile's zone map / sketch; bounds may only
                     # grow (stale-wide bounds are safe for pruning)
                     tile.header.statistics.column(path).observe(value)
+                    tile.header.widen_block_bounds(path, local, value)
 
             # every access path of the new document must be visible to
             # skipping, otherwise changed tiles could be skipped

@@ -89,6 +89,25 @@ class ResolvedTileCache:
             self.hits += 1
             return entry[0]
 
+    def lookup_many(
+            self,
+            keys: Iterable[CacheKey]) -> Dict[CacheKey, ColumnVector]:
+        """Probe a batch of keys under one lock acquisition; absent
+        keys count a miss each and are simply omitted from the result.
+        The late-materializing scan probes every fallback request of a
+        tile at once to decide whether any decode pass is needed."""
+        with self._lock:
+            found: Dict[CacheKey, ColumnVector] = {}
+            for key in keys:
+                entry = self._entries.get(key)
+                if entry is None:
+                    self.misses += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    found[key] = entry[0]
+            return found
+
     def store(self, key: CacheKey, vector: ColumnVector) -> None:
         self.store_many([(key, vector)])
 

@@ -27,6 +27,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.datetimes import parse_datetime_string
 from repro.core.jsonpath import KeyPath
 from repro.core.types import COLUMN_TYPE_FOR_JSON, ColumnType, JsonType
@@ -174,6 +176,31 @@ def _materialize_value(value: object, column: ExtractedColumn) -> object:
     raise AssertionError(f"unexpected column type {ctype}")
 
 
+def _block_bounds(vector, block_rows: int, num_rows: int) -> List[Optional[list]]:
+    """Per-block [min, max] entries for one extracted column
+    (DESIGN.md §9): ``[]`` marks an all-NULL block, ``None`` a block
+    whose values are mutually incomparable (pruning must not trust it)."""
+    entries: List[Optional[list]] = []
+    for start in range(0, num_rows, block_rows):
+        stop = min(start + block_rows, num_rows)
+        nulls = vector.null_mask[start:stop]
+        if nulls.all():
+            entries.append([])
+            continue
+        values = vector.data[start:stop][~nulls]
+        try:
+            low, high = values.min(), values.max()
+        except TypeError:
+            entries.append(None)
+            continue
+        if isinstance(low, np.generic):
+            low = low.item()
+        if isinstance(high, np.generic):
+            high = high.item()
+        entries.append([low, high])
+    return entries
+
+
 def build_tile(documents: Sequence[object], jsonb_rows: List[bytes],
                config: ExtractionConfig, tile_number: int, first_row: int,
                schema: Optional[TileSchema] = None,
@@ -251,6 +278,9 @@ def build_tile(documents: Sequence[object], jsonb_rows: List[bytes],
         header.add_column(materialized)
         vector = builder.finish()
         columns[column_meta.path] = vector
+        header.block_bounds_rows = config.tile_size
+        header.block_bounds[column_meta.path] = _block_bounds(
+            vector, config.tile_size, num_rows)
         if column_meta.column_type in (ColumnType.INT64, ColumnType.FLOAT64,
                                        ColumnType.DECIMAL,
                                        ColumnType.TIMESTAMP):

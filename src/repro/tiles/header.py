@@ -54,6 +54,19 @@ class TileHeader:
         self.key_counts: Dict[str, int] = {}
         self.unextracted_paths = BloomFilter(expected_items=64)
         self.statistics = TileStatistics(row_count=row_count)
+        #: per-block zone maps (DESIGN.md §9): for each extracted
+        #: column, one entry per ``block_bounds_rows``-row block of the
+        #: tile — ``[min, max]`` of the block's non-null values, ``[]``
+        #: for an all-NULL block, ``None`` when the values are mutually
+        #: incomparable.  One-block tiles duplicate the tile-level
+        #: bounds; LSM-merged tiles (fanout × tile_size rows) are where
+        #: block pruning beats whole-tile skipping.  Empty for tiles
+        #: restored from pre-§9 .jtile files — pruning simply stays
+        #: tile-granular for them.
+        self.block_bounds: Dict[KeyPath, List[Optional[list]]] = {}
+        #: rows per bound-block (the extraction config's ``tile_size``
+        #: at build time); 0 means no block bounds were recorded
+        self.block_bounds_rows: int = 0
 
     def add_column(self, column: ExtractedColumn) -> None:
         self.columns[column.path] = column
@@ -87,6 +100,47 @@ class TileHeader:
             # by the column bounds: pruning would be unsound
             return None
         return stats.min_value, stats.max_value
+
+    def block_bounds_for(self, path: KeyPath) -> Optional[List[Optional[list]]]:
+        """The per-block bound entries for one extracted column, or
+        ``None`` when pruning on them would be unsound — same rule as
+        :meth:`column_bounds`: a type-conflicted column's outliers live
+        in the JSONB fallback and are not covered by the bounds."""
+        if self.block_bounds_rows <= 0:
+            return None
+        entries = self.block_bounds.get(path)
+        if entries is None:
+            return None
+        column = self.columns.get(path)
+        if column is not None and column.has_type_conflicts:
+            return None
+        return entries
+
+    def widen_block_bounds(self, path: KeyPath, local: int,
+                           value: object) -> None:
+        """Widen the bound-block covering row *local* after an in-place
+        update stored *value* — mirroring the tile-level zone map's
+        "bounds may only grow" rule (stale-wide bounds are safe for
+        pruning).  Incomparable values degrade the block to unknown."""
+        entries = self.block_bounds.get(path)
+        if entries is None or self.block_bounds_rows <= 0:
+            return
+        index = local // self.block_bounds_rows
+        if index >= len(entries):
+            return
+        entry = entries[index]
+        if entry is None:
+            return
+        try:
+            if not entry:
+                entries[index] = [value, value]
+            else:
+                if value < entry[0]:
+                    entry[0] = value
+                if value > entry[1]:
+                    entry[1] = value
+        except TypeError:
+            entries[index] = None
 
     def may_contain(self, path: KeyPath) -> bool:
         """Can any tuple of this tile contain *path*?
