@@ -15,9 +15,16 @@ it:
   partial-executable blocks scatter ``partial_query`` to one backend
   per shard (a read replica when fresh enough, see below) and merge
   the returned states in global block order — bit-identical to a
-  single-node run.  Everything else (joins, subqueries) falls back to
-  *gather*: the referenced tables are paged from the shards, rebuilt
-  locally in global row order, and the query runs on the rebuild.
+  single-node run.  Two-table equi-joins whose build side is small may
+  instead run as shard-side *broadcast joins* (DESIGN.md §10): the
+  shards vote on a fragment plan (``plan_fragments``); on unanimity
+  the coordinator gathers the build side's surviving rows, broadcasts
+  them to every shard's probe fragment, and merges partial results —
+  any disagreement, oversized build side or non-wire column declines
+  to gather (counted in ``distjoin_declines``).  Everything else falls
+  back to *gather*: the referenced tables are paged from the shards,
+  rebuilt locally in global row order, and the query runs on the
+  rebuild.
 * ``flush`` / ``checkpoint`` / ``maintenance`` / ``stats`` fan out to
   every shard and aggregate per-shard sections.
 
@@ -55,9 +62,12 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.database import Database
+from repro.engine.fragments import plan_fragments
 from repro.engine.partial import (
     GATHER,
+    _WIRE_TYPES,
     classify_block,
+    merge_build_pieces,
     merge_counters,
     merge_partial_results,
 )
@@ -89,8 +99,8 @@ _CONFIG_FIELDS = ("tile_size", "partition_size", "threshold",
 #: layout that routing, partial merges and replica lag depend on.
 _IDEMPOTENT_COMMANDS = frozenset({
     "ping", "hello", "query", "explain", "stats", "partial_query",
-    "fetch_docs", "wal_fetch", "replica_status", "maintenance",
-    "flush", "checkpoint",
+    "plan_fragments", "fetch_docs", "wal_fetch", "replica_status",
+    "maintenance", "flush", "checkpoint",
 })
 
 
@@ -138,7 +148,12 @@ class BackendLink:
         self._reader = None
         self._writer = None
 
-    async def call(self, command: str, **fields) -> dict:
+    async def call(self, command: str,
+                   _account: Optional[dict] = None, **fields) -> dict:
+        """*_account*, when given, is a mutable ``{"bytes": n}`` the
+        call adds its request and response line sizes to — the
+        coordinator's ``exchange_bytes`` bookkeeping (broadcast joins
+        vs. the gather fallback are compared on exactly this number)."""
         async with self._lock:
             self._request_id += 1
             payload = protocol.encode({"id": self._request_id,
@@ -148,6 +163,8 @@ class BackendLink:
                     f"request to {self.endpoint.address} exceeds the "
                     f"protocol frame limit; split the batch",
                     code="protocol")
+            if _account is not None:
+                _account["bytes"] += len(payload)
             retriable = command in _IDEMPOTENT_COMMANDS
             for attempt in (0, 1):
                 sent = False
@@ -186,6 +203,8 @@ class BackendLink:
                             f"backend {self.endpoint.address} closed the "
                             f"connection{suffix}", code="unavailable")
                     continue
+                if _account is not None:
+                    _account["bytes"] += len(line)
                 response = json.loads(line.decode("utf-8"))
                 if not response.get("ok"):
                     raise BackendError(
@@ -242,8 +261,14 @@ class ClusterCoordinator:
             "inserts": 0, "queries": 0, "partial_queries": 0,
             "gather_queries": 0, "replica_queries": 0,
             "primary_fallbacks": 0, "overload_rejections": 0,
-            "connections_total": 0,
+            "connections_total": 0, "distributed_joins": 0,
+            "distjoin_declines": 0, "broadcast_rows": 0,
+            "exchange_bytes": 0,
         }
+        #: join order of the last distributed-join attempt (stats)
+        self._last_join_order: List[str] = []
+        #: why the last declined attempt fell back to gather (stats)
+        self._last_distjoin_decline: Optional[str] = None
         self._started_at = 0.0
 
     # ------------------------------------------------------------------
@@ -312,6 +337,9 @@ class ClusterCoordinator:
             "format": format_name,
             "config": config,
             "count": count,
+            #: bumped on every routed insert / reconciliation — the
+            #: gather cache's validity key (``_refresh_gather_table``)
+            "epoch": 0,
             "degraded": False,
             "lock": asyncio.Lock(),
         }
@@ -533,6 +561,7 @@ class ClusterCoordinator:
                 entry["degraded"] = True
                 raise failures[0]
             entry["count"] = base + len(documents)
+            entry["epoch"] += 1
         self._bump("inserts", len(documents))
         pending = max((response.get("pending", 0)
                        for response in responses), default=0)
@@ -568,6 +597,7 @@ class ClusterCoordinator:
                 f"for {total} total rows requires {expected}; reload "
                 f"the table to repair it", code="degraded")
         entry["count"] = total
+        entry["epoch"] += 1
         entry["degraded"] = False
 
     async def _ensure_routable(self, names) -> None:
@@ -676,6 +706,8 @@ class ClusterCoordinator:
         return protocol.ok_response(
             request_id, role="coordinator", tables=tables,
             counters=counters, shards=shards,
+            last_join_order=list(self._last_join_order),
+            last_distjoin_decline=self._last_distjoin_decline,
             uptime_s=round(time.monotonic() - self._started_at, 3))
 
     async def _replica_statuses(self, shard_index: int) -> List[dict]:
@@ -726,15 +758,25 @@ class ClusterCoordinator:
             block = Binder(self.skeleton.tables, options).bind(parse(sql))
             mode = classify_block(block)
             self._bump("queries")
+            account = {"bytes": 0}
             if mode == GATHER:
+                if options.enable_distributed_joins:
+                    response = await self._distributed_join(
+                        sql, options, options_dict, block, account,
+                        request_id)
+                    if response is not None:
+                        self._bump("exchange_bytes", account["bytes"])
+                        return response
                 self._bump("gather_queries")
-                result = await self._gather_query(sql, options)
+                result = await self._gather_query(sql, options, account)
+                self._bump("exchange_bytes", account["bytes"])
                 return protocol.ok_response(
                     request_id, columns=result.columns,
                     rows=[list(row) for row in result.rows],
                     counters=result.counters.as_dict(),
                     cluster={"mode": GATHER,
-                             "shards": self.topology.shard_count})
+                             "shards": self.topology.shard_count,
+                             "exchange_bytes": account["bytes"]})
             self._bump("partial_queries")
             table = block.sources[0].relation.name
             await self._ensure_routable([table])
@@ -742,7 +784,8 @@ class ClusterCoordinator:
             responses = await asyncio.gather(*[
                 link.call("partial_query", sql=sql, shard_index=index,
                           shard_count=self.topology.shard_count,
-                          mode=mode, options=options_dict)
+                          mode=mode, options=options_dict,
+                          _account=account)
                 for index, link in enumerate(backends)
             ])
             pieces = [piece for response in responses
@@ -751,14 +794,144 @@ class ClusterCoordinator:
                 self._pool, merge_partial_results, block, mode, pieces)
             counters = merge_counters(
                 [response["counters"] for response in responses])
+            self._bump("exchange_bytes", account["bytes"])
             return protocol.ok_response(
                 request_id, columns=columns, rows=rows,
                 counters=counters.as_dict(),
                 cluster={"mode": mode,
                          "shards": self.topology.shard_count,
-                         "replicas_used": replicas_used})
+                         "replicas_used": replicas_used,
+                         "exchange_bytes": account["bytes"]})
         finally:
             self._inflight -= 1
+
+    # -- shard-side broadcast joins (DESIGN.md §10) ---------------------
+
+    async def _distributed_join(self, sql: str, options: QueryOptions,
+                                options_dict: dict, block,
+                                account: dict,
+                                request_id) -> Optional[dict]:
+        """Try a two-table equi-join as shard-side broadcast fragments.
+
+        Returns the finished response, or ``None`` to decline to the
+        gather path.  The contract is bit-identical-or-decline: any
+        doubt — shards disagreeing on the plan, an oversized or
+        non-wire build side, an unroutable table — declines.  Declines
+        after the shape pre-check count as ``distjoin_declines``;
+        blocks that are not broadcast-join shaped at all (unions,
+        subqueries, 3+ tables...) pass straight through uncounted.
+        """
+        local = plan_fragments(block, options)
+        if local.join is None:
+            if (len(block.sources) >= 2 or block.left_joins
+                    or block.subquery_filters):
+                # a join the fragment IR can't express (non-equi,
+                # 3+ tables, outer, subquery...) — a counted decline
+                self._bump("distjoin_declines")
+                self._last_distjoin_decline = local.reason
+            return None  # plain non-join gather (unions, exotic types)
+
+        def decline(reason: str) -> None:
+            self._bump("distjoin_declines")
+            self._last_join_order = list(local.join.order)
+            self._last_distjoin_decline = reason
+
+        tables = sorted({source.relation.name
+                         for source in block.sources})
+        await self._ensure_routable(tables)
+
+        # consensus vote: every shard plans from its own statistics;
+        # the broadcast runs only if all agree on mode + orientation
+        # (primaries only — replica statistics may lag arbitrarily)
+        try:
+            votes = await asyncio.gather(*[
+                link.call("plan_fragments", sql=sql,
+                          options=options_dict, _account=account)
+                for link in self.links])
+        except BackendError:
+            decline("plan-unavailable")
+            return None
+        plans = [vote["plan"] for vote in votes]
+        first = plans[0]
+        if any(plan.get("mode") == GATHER or "join" not in plan
+               for plan in plans):
+            decline("shard-declined")
+            return None
+        joins = [plan["join"] for plan in plans]
+        if any(plan["mode"] != first["mode"]
+               or join["probe"] != joins[0]["probe"]
+               or join["build"] != joins[0]["build"]
+               or join["order"] != joins[0]["order"]
+               for plan, join in zip(plans, joins)):
+            decline("shard-disagreement")
+            return None
+        mode = first["mode"]
+        probe_alias = joins[0]["probe"]
+        build_alias = joins[0]["build"]
+        order = list(joins[0]["order"])
+
+        # the build side must fit the broadcast budget (sum of the
+        # shards' surviving-cardinality estimates) and ship losslessly
+        cap = self.topology.max_broadcast_rows
+        if cap is None:
+            cap = options.broadcast_max_rows
+        estimate = sum(join["build_estimate"] for join in joins)
+        if estimate > cap:
+            decline("build-too-large")
+            return None
+        build_source = block.source(build_alias)
+        if any(request.target not in _WIRE_TYPES
+               for request in build_source.requests.values()):
+            decline("non-wire-build-column")
+            return None
+
+        shard_count = self.topology.shard_count
+        built = await asyncio.gather(*[
+            link.call("partial_query", sql=sql, shard_index=index,
+                      shard_count=shard_count, options=options_dict,
+                      fragment={"phase": "build", "build": build_alias},
+                      _account=account)
+            for index, link in enumerate(self.links)])
+        build_rows = merge_build_pieces(
+            [piece for response in built
+             for piece in response["pieces"]])
+        if len(build_rows) > cap:
+            decline("build-overflowed-estimate")
+            return None
+        fragment = {"phase": "probe", "probe": probe_alias,
+                    "build": build_alias,
+                    "columns": built[0]["columns"],
+                    "types": built[0]["types"], "rows": build_rows}
+        # the broadcast must fit one protocol frame per shard
+        if len(protocol.encode(fragment)) + len(sql) + 4096 \
+                > protocol.MAX_MESSAGE_BYTES:
+            decline("build-exceeds-frame")
+            return None
+
+        probed = await asyncio.gather(*[
+            link.call("partial_query", sql=sql, shard_index=index,
+                      shard_count=shard_count, mode=mode,
+                      options=options_dict, fragment=fragment,
+                      _account=account)
+            for index, link in enumerate(self.links)])
+        pieces = [piece for response in probed
+                  for piece in response["pieces"]]
+        columns, rows = await self._loop.run_in_executor(
+            self._pool, merge_partial_results, block, mode, pieces)
+        counters = merge_counters(
+            [response["counters"] for response in built + probed])
+        counters.broadcast_rows += len(build_rows) * shard_count
+        self._bump("distributed_joins")
+        self._bump("broadcast_rows", len(build_rows) * shard_count)
+        self._last_join_order = order
+        return protocol.ok_response(
+            request_id, columns=columns, rows=rows,
+            counters=counters.as_dict(),
+            cluster={"mode": "broadcast_join", "shards": shard_count,
+                     "join_order": order, "probe": probe_alias,
+                     "build": build_alias,
+                     "broadcast_rows": len(build_rows) * shard_count,
+                     "exchange_bytes": account["bytes"]})
 
     async def _cmd_explain(self, request: dict, request_id) -> dict:
         sql = request["sql"]
@@ -766,15 +939,29 @@ class ClusterCoordinator:
         options = options_from_dict(options_dict, self.default_options)
         block = Binder(self.skeleton.tables, options).bind(parse(sql))
         mode = classify_block(block)
+        local = plan_fragments(block, options)
         shard_plan = await self.links[0].call("explain", sql=sql,
                                               options=options_dict)
+        if mode == GATHER:
+            if local.join is not None \
+                    and options.enable_distributed_joins:
+                strategy = (
+                    f"  broadcast join (on unanimous shard vote): "
+                    f"build[{local.join.build}] =broadcast=> "
+                    f"probe[{local.join.probe}] -> merge; declines "
+                    f"fall back to gather\n")
+            else:
+                strategy = ("  gather: rebuild referenced tables from "
+                            "shard documents in global row order, "
+                            "execute locally\n")
+        else:
+            strategy = (
+                f"  scatter partial_query to {self.topology.shard_count} "
+                f"backends, merge states in global block order\n")
         header = (
             f"Cluster[{self.topology.shard_count} shards, mode={mode}]\n"
-            + ("  gather: rebuild referenced tables from shard "
-               "documents in global row order, execute locally\n"
-               if mode == GATHER else
-               f"  scatter partial_query to {self.topology.shard_count} "
-               f"backends, merge states in global block order\n")
+            + strategy
+            + f"  {local.describe()}\n"
             + "  per-shard plan (shard 0):\n")
         indented = "\n".join("    " + line for line
                              in shard_plan["plan"].splitlines())
@@ -833,24 +1020,37 @@ class ClusterCoordinator:
 
     # -- gather fallback -----------------------------------------------
 
-    async def _gather_query(self, sql: str, options: QueryOptions):
-        tables = sorted(referenced_tables(parse(sql)) & set(self.tables))
+    async def _gather_query(self, sql: str, options: QueryOptions,
+                            account: Optional[dict] = None):
+        # fetch the small side first (routed row counts are the
+        # coordinator's cardinalities): its rebuild completes and frees
+        # pool capacity while the big side is still paging, and an
+        # error on the cheap side aborts before the expensive fetch
+        tables = sorted(referenced_tables(parse(sql)) & set(self.tables),
+                        key=lambda name: (self.tables[name]["count"],
+                                          name))
         await self._ensure_routable(tables)
         async with self._gather_lock:
             for name in tables:
-                await self._refresh_gather_table(name)
+                await self._refresh_gather_table(name, account)
             return await self._loop.run_in_executor(
                 self._pool, self._gather_db.sql, sql, options)
 
-    async def _refresh_gather_table(self, name: str) -> None:
+    async def _refresh_gather_table(self, name: str,
+                                    account: Optional[dict] = None
+                                    ) -> None:
         """Bring the local rebuild of *name* up to the routed count.
         Document pages are fetched incrementally per shard (appends
         only ever extend a shard's suffix), but a grown table is
         re-extracted from scratch so its tile boundaries stay exactly
-        canonical — an incrementally flushed tail would drift."""
+        canonical — an incrementally flushed tail would drift.
+
+        The rebuild is cached per table *epoch* (bumped on every
+        routed insert and reconciliation), so repeat gather queries
+        against an unchanged table exchange zero bytes."""
         entry = self.tables[name]
         count = entry["count"]
-        if self._gather_built.get(name) == count:
+        if self._gather_built.get(name) == (entry["epoch"], count):
             return
         tile_rows = entry["config"].get("tile_size", 1024)
         shard_count = self.topology.shard_count
@@ -864,7 +1064,7 @@ class ClusterCoordinator:
             while have < need:
                 page = await link.call(
                     "fetch_docs", table=name, start=have,
-                    limit=min(4096, need - have))
+                    limit=min(4096, need - have), _account=account)
                 documents = page["docs"]
                 if not documents:
                     raise BackendError(
@@ -900,7 +1100,7 @@ class ClusterCoordinator:
             relation.flush_inserts()
 
         await self._loop.run_in_executor(self._pool, rebuild)
-        self._gather_built[name] = count
+        self._gather_built[name] = (entry["epoch"], count)
 
 
 def run_coordinator(topology_path, host: str = "127.0.0.1",

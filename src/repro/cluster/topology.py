@@ -30,7 +30,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
 from repro.errors import ReproError
 
@@ -60,6 +60,10 @@ class ClusterTopology:
     shards: List[ShardSpec]
     max_replica_lag: int = 0
     read_from_replicas: bool = True
+    #: per-cluster ceiling on the estimated global build-side rows a
+    #: broadcast join may ship (DESIGN.md §10); ``None`` defers to the
+    #: query's ``broadcast_max_rows`` option
+    max_broadcast_rows: Optional[int] = None
 
     @property
     def shard_count(self) -> int:
@@ -87,10 +91,14 @@ class ClusterTopology:
                         f"endpoint {endpoint.address} appears twice in "
                         f"the topology")
                 seen.add(endpoint)
+        max_broadcast = raw.get("max_broadcast_rows")
         return cls(shards=shards,
                    max_replica_lag=int(raw.get("max_replica_lag", 0)),
                    read_from_replicas=bool(
-                       raw.get("read_from_replicas", True)))
+                       raw.get("read_from_replicas", True)),
+                   max_broadcast_rows=(int(max_broadcast)
+                                       if max_broadcast is not None
+                                       else None))
 
 
 def _endpoint(entry: dict, where: str) -> Endpoint:

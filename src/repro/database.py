@@ -211,6 +211,10 @@ class Database:
                 batch = concat_batches(list(tree.batches()))
             rows = batch.length if batch is not None else 0
         lines = [f"join order: {' -> '.join(planner.last_join_order) or '-'}"]
+        from repro.engine.explain import render_fragments
+        from repro.engine.fragments import plan_fragments
+
+        lines.append(render_fragments(plan_fragments(block, options)))
         lines.append(render_plan(tree, analyze=analyze))
         for source in block.sources:
             requests = getattr(source, "requests", None)

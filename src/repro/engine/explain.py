@@ -19,6 +19,25 @@ def render_plan(root, indent: str = "", analyze: bool = False) -> str:
     return "\n".join(lines)
 
 
+def render_fragments(plan) -> str:
+    """Render a :class:`~repro.engine.fragments.FragmentPlan`: the
+    one-line summary, then one line per fragment with its partitioning
+    and exchange — the boundaries a cluster would ship across."""
+    lines = [plan.describe()]
+    for fragment in plan.fragments:
+        alias = f"[{fragment.alias}]" if fragment.alias else ""
+        mode = f" mode={fragment.mode}" if fragment.mode else ""
+        inputs = ("  <- " + ", ".join(f"F{i}" for i in fragment.inputs)
+                  if fragment.inputs else "")
+        lines.append(f"  F{fragment.fragment_id} {fragment.kind}{alias} "
+                     f"on {fragment.partitioning} -> "
+                     f"{fragment.exchange}{mode}{inputs}")
+    if plan.join is not None:
+        lines.append(f"  broadcast build estimate: "
+                     f"{plan.join.build_estimate:.1f} rows")
+    return "\n".join(lines)
+
+
 def _describe(node, analyze: bool = False) -> str:
     if isinstance(node, TableScan):
         skips = ""

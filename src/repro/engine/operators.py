@@ -285,6 +285,24 @@ class _BuildIndex:
         if self._kernel is None:
             self._build_table()
 
+    def prewarm(self) -> None:
+        """Materialize the per-tuple dict eagerly so ``lookup`` is
+        read-only afterwards.  The probe fragment of a broadcast join
+        (``engine/partial.py``) shares one index across pool workers;
+        without prewarming, a kernel decline (or an object-keyed probe
+        of the single-int layout) would lazily build the dict from two
+        threads at once."""
+        if self._table is not None:
+            return
+        if self._single_int:
+            table: Dict[tuple, List[int]] = {}
+            for position, key in zip(self._sorted_positions,
+                                     self._sorted_keys):
+                table.setdefault((key,), []).append(int(position))
+            self._table = table
+        else:
+            self._build_table()
+
     def _build_table(self) -> None:
         self._table = {}
         masks = [vector.null_mask for vector in self._vectors]

@@ -389,6 +389,46 @@ class Planner:
         return max(1.0, item.cardinality)
 
     # ------------------------------------------------------------------
+    # fragment planning front half (engine/fragments.py)
+
+    def fragment_inputs(self, block: QueryBlock):
+        """Classify predicates, derive skip paths and estimate base
+        cardinalities without building any operators — the shared
+        front half of :meth:`plan_block`.  The fragment planner calls
+        this so shard-side planning and the fused single-node plan
+        make identical ordering/orientation decisions from the same
+        statistics."""
+        planned = {source.alias: PlannedScan(source)
+                   for source in block.sources}
+        join_edges, residuals = self._classify_predicates(block, planned)
+        self._derive_skip_paths(block, planned, join_edges, residuals)
+        for item in planned.values():
+            item.cardinality = self._estimate_source(item)
+        return planned, join_edges, residuals
+
+    def join_order(self, aliases: Sequence[str],
+                   planned: Dict[str, PlannedScan],
+                   join_edges) -> List[str]:
+        """The alias sequence :meth:`_join_tree` would realize: C_out
+        DP over connected subsets under ``use_statistics`` for up to
+        11 aliases, the syntactic FROM order otherwise."""
+        if self.options.use_statistics and len(aliases) <= 11:
+            return self._dp_order(list(aliases), planned, join_edges)
+        return self._syntactic_order(list(aliases), join_edges)
+
+    def probe_build_orientation(self, order: Sequence[str],
+                                planned: Dict[str, PlannedScan]
+                                ) -> Tuple[str, str]:
+        """``(probe, build)`` sides :meth:`_build_join_tree` realizes
+        for a two-source order — the 4x swap rule, verbatim: the new
+        source probes only when it is estimated well larger than the
+        tree, otherwise it is the hash build side."""
+        first, second = order
+        if planned[second].cardinality > planned[first].cardinality * 4:
+            return second, first
+        return first, second
+
+    # ------------------------------------------------------------------
     # join ordering
 
     def _join_tree(self, block: QueryBlock, planned: Dict[str, PlannedScan],

@@ -115,6 +115,15 @@ def classify_block(block: QueryBlock) -> str:
         return GATHER
     if _has_scalar_subquery(block):
         return GATHER
+    return classify_output(block)
+
+
+def classify_output(block: QueryBlock) -> str:
+    """Merge mode of the block's *output* over an arbitrary row
+    stream, independent of how that stream is produced — shared by
+    the single-source classifier above and the broadcast-join
+    fragment planner (``engine/fragments.py``), whose probe fragments
+    feed joined chunks through the same per-mode builders."""
     if block.is_aggregated:
         if not block.group_keys:
             return "scalar"
@@ -205,31 +214,246 @@ def execute_partial(block: QueryBlock, options: QueryOptions,
     # serial FilterOp while letting the shard ship only surviving rows
     # — and hands the late-materialization split the same conjuncts
     # the single-node planner would.
-    scan = TableScan(
-        relation,
+    scan = _fragment_scan(planner, source, item, options,
+                          extra_predicates=residuals)
+
+    build = _chunk_builder(mode, block, tile_rows, shard_index,
+                           shard_count, rowid_name, options, scan)
+    pieces = _run_chunks(scan, relation, tile_rows, shard_index,
+                         shard_count, options, build)
+    return {"mode": mode, "pieces": pieces,
+            "counters": scan.counters.as_dict()}
+
+
+def _fragment_scan(planner: Planner, source: ScanSource,
+                   item: PlannedScan, options: QueryOptions,
+                   extra_predicates: Sequence[ex.Expression] = ()
+                   ) -> TableScan:
+    """One source's scan for partial execution: the fused planner's
+    ``_plan_source_with_filters`` configuration, but always serial —
+    the chunk tasks parallelize instead, and chunk boundaries (not
+    tile boundaries) define the merge order."""
+    return TableScan(
+        source.relation,
         list(source.requests.values()),
-        predicates=item.filters + residuals,
+        predicates=item.filters + list(extra_predicates),
         late_materialization=options.enable_late_materialization,
         skip_paths=sorted(item.skip_paths),
         range_prunes=planner._range_prunes(source, item.filters),
         enable_skipping=options.enable_skipping,
         batch_rows=options.batch_rows,
-        parallelism=1,  # chunk tasks below parallelize instead
+        parallelism=1,  # chunk tasks parallelize instead
         use_cache=options.tile_cache,
         multipath_shred=options.enable_multipath_shred,
     )
 
-    build = _chunk_builder(mode, block, tile_rows, shard_index,
-                           shard_count, rowid_name, options, scan)
+
+def _run_chunks(scan: TableScan, relation, tile_rows: int,
+                shard_index: int, shard_count: int,
+                options: QueryOptions, build) -> List[dict]:
+    """Enumerate the shard's ``(block, chunk)`` spans and fold each
+    surviving chunk through *build* on the shared morsel pool."""
     tasks = [
         _bind(_run_chunk, scan, span, tag, build)
         for tag, span in _chunk_spans(relation, scan, tile_rows,
                                       shard_index, shard_count,
                                       options.batch_rows)
     ]
-    pieces = [piece for piece in
-              run_ordered(tasks, max(1, options.parallelism))
-              if piece is not None]
+    return [piece for piece in
+            run_ordered(tasks, max(1, options.parallelism))
+            if piece is not None]
+
+
+# ----------------------------------------------------------------------
+# broadcast-join fragments (DESIGN.md §10)
+#
+# A two-source equi-join executes shard-side in two fragments.  The
+# *build* fragment scans the build alias with its pushed-down filters
+# and ships every surviving row's requested columns as (block, chunk)-
+# tagged pieces; concatenated in ascending (k, c) order they equal the
+# single-node build scan's surviving rows in global row order.  The
+# *probe* fragment receives that merged build relation (broadcast),
+# scans the probe alias in canonical chunks, joins each chunk against
+# one shared prewarmed hash index, applies the block's residual
+# predicates per joined chunk, and feeds the result through the same
+# per-mode chunk builders as single-source partials.  Fused joined
+# batch boundaries are probe batch boundaries (HashJoinOp emits one
+# non-empty batch per probe batch), so the coordinator's (k, c)-
+# ordered merge replays the serial engine's exact fold sequence.
+
+
+def execute_build_fragment(block: QueryBlock, options: QueryOptions,
+                           shard_index: int, shard_count: int,
+                           build_alias: str) -> dict:
+    """Shard half of a broadcast join's build fragment."""
+    source = block.source(build_alias)
+    if not isinstance(source, ScanSource):
+        raise ExecutionError(
+            f"build fragment alias {build_alias!r} is not a base-table "
+            f"scan")
+    relation = source.relation
+    tile_rows = relation.config.tile_size
+
+    planner = Planner(options)
+    planned, _join_edges, _residuals = planner.fragment_inputs(block)
+    item = planned[build_alias]
+
+    names = sorted(source.requests)
+    types = [source.requests[name].target for name in names]
+    for name, target in zip(names, types):
+        if target not in _WIRE_TYPES:
+            raise ExecutionError(
+                f"build column {name!r} has non-wire type "
+                f"{target.name}; the coordinator must decline to "
+                f"gather instead of broadcasting")
+
+    scan = _fragment_scan(planner, source, item, options)
+
+    def build_piece(batch: Batch) -> dict:
+        return {"rows": [[batch.column(name).value(row)
+                          for name in names]
+                         for row in range(batch.length)]}
+
+    pieces = _run_chunks(scan, relation, tile_rows, shard_index,
+                         shard_count, options, build_piece)
+    return {"mode": "build", "columns": names,
+            "types": [target.name for target in types],
+            "pieces": pieces, "counters": scan.counters.as_dict()}
+
+
+def assemble_build_batch(columns: Sequence[str], types: Sequence[str],
+                         rows: Sequence[Sequence]) -> Optional[Batch]:
+    """Reconstruct the broadcast build relation from merged wire rows
+    (``None`` when the build side survived no rows).  JSON round-trips
+    the wire types exactly, so the rebuilt vectors are value-identical
+    to the single-node build scan's output."""
+    if not rows:
+        return None
+    vectors = {
+        name: ColumnVector.from_values(
+            ColumnType[type_name],
+            [row[index] for row in rows])
+        for index, (name, type_name) in enumerate(zip(columns, types))
+    }
+    return Batch(vectors, len(rows))
+
+
+def merge_build_pieces(pieces: List[dict]) -> List[list]:
+    """Concatenate build-fragment rows in ascending global
+    ``(block, chunk)`` order — the single-node build scan's row
+    order."""
+    rows: List[list] = []
+    for piece in sorted(pieces, key=lambda piece: (piece["k"],
+                                                   piece["c"])):
+        rows.extend(piece["rows"])
+    return rows
+
+
+def execute_probe_fragment(block: QueryBlock, options: QueryOptions,
+                           shard_index: int, shard_count: int,
+                           fragment: dict,
+                           expected_mode: Optional[str] = None) -> dict:
+    """Shard half of a broadcast join's probe fragment.
+
+    *fragment* carries the pinned orientation and the merged build
+    relation: ``{"probe", "build", "columns", "types", "rows"}``.  The
+    orientation is decided once (by unanimous shard vote, see
+    ``cluster/coordinator.py``) and obeyed here — location
+    transparency — after validating it against this shard's own
+    deterministic block shape.
+    """
+    probe_alias = fragment["probe"]
+    build_alias = fragment["build"]
+    aliases = {source.alias for source in block.sources}
+    if (len(block.sources) != 2 or aliases != {probe_alias, build_alias}
+            or probe_alias == build_alias):
+        raise ExecutionError(
+            f"probe fragment orientation ({probe_alias!r}, "
+            f"{build_alias!r}) does not match the block's sources "
+            f"{sorted(aliases)}")
+    mode = classify_output(block)
+    if mode == GATHER:
+        raise ExecutionError("join block's output is not "
+                             "partial-mergeable; the coordinator must "
+                             "gather instead")
+    if expected_mode is not None and expected_mode != mode:
+        raise ExecutionError(
+            f"probe-fragment mode mismatch: coordinator expects "
+            f"{expected_mode!r} but this shard classifies the output "
+            f"as {mode!r}; upgrade so both ends run the same planner")
+
+    source = block.source(probe_alias)
+    if not isinstance(source, ScanSource):
+        raise ExecutionError(
+            f"probe fragment alias {probe_alias!r} is not a base-table "
+            f"scan")
+    relation = source.relation
+    tile_rows = relation.config.tile_size
+
+    rowid_name = None
+    if mode == "rows":
+        rowid_name = source.request(ROWID_PATH, ColumnType.INT64,
+                                    False).name
+
+    planner = Planner(options)
+    planned, join_edges, residuals = planner.fragment_inputs(block)
+    item = planned[probe_alias]
+
+    # orient the equi-join keys: probe-side expressions drive the
+    # lookup, build-side expressions were evaluated into the index —
+    # in join-edge order, exactly as _build_join_tree collects them
+    probe_keys: List[ex.Expression] = []
+    build_keys: List[ex.Expression] = []
+    for a, b, left_key, right_key in join_edges:
+        if a == probe_alias and b == build_alias:
+            probe_keys.append(left_key)
+            build_keys.append(right_key)
+        elif a == build_alias and b == probe_alias:
+            probe_keys.append(right_key)
+            build_keys.append(left_key)
+    if not probe_keys:
+        raise ExecutionError("probe fragment without equi-join edges; "
+                             "the coordinator must gather instead")
+
+    build_batch = assemble_build_batch(fragment["columns"],
+                                       fragment["types"],
+                                       fragment.get("rows") or [])
+    scan = _fragment_scan(planner, source, item, options)
+    if build_batch is None:
+        # inner join against an empty build side matches nothing; the
+        # fused engine short-circuits before reading the probe, so the
+        # fragment ships zero pieces without scanning
+        return {"mode": mode, "pieces": [],
+                "counters": scan.counters.as_dict()}
+
+    from repro.engine.operators import _BuildIndex, _combine
+
+    index = _BuildIndex(build_batch, build_keys,
+                        enable_kernels=options.enable_kernels)
+    index.prewarm()  # lookups must be read-only across pool workers
+
+    build = _chunk_builder(mode, block, tile_rows, shard_index,
+                           shard_count, rowid_name, options, scan)
+
+    def probe_piece(batch: Batch) -> Optional[dict]:
+        keys = [expr.evaluate(batch) for expr in probe_keys]
+        probe_idx, build_idx, _counts = index.lookup(keys)
+        combined = _combine(batch, probe_idx, build_batch, build_idx)
+        # residuals are row-local over the joined row: applying them
+        # per chunk in list order equals the fused plan's FilterOp
+        # stack above the join
+        for residual in residuals:
+            if not combined.length:
+                break
+            verdict = residual.evaluate(combined)
+            keep = verdict.data.astype(bool) & ~verdict.null_mask
+            combined = combined.filter(keep)
+        if not combined.length:
+            return None
+        return build(combined)
+
+    pieces = _run_chunks(scan, relation, tile_rows, shard_index,
+                         shard_count, options, probe_piece)
     return {"mode": mode, "pieces": pieces,
             "counters": scan.counters.as_dict()}
 
@@ -327,6 +551,10 @@ def _run_chunk(scan: TableScan, span: List[Tuple[int, int]],
     if batch is None:
         return None
     piece = build(batch)
+    if piece is None:
+        # the chunk survived the scan but produced nothing to ship
+        # (e.g. a probe-fragment chunk whose rows all missed the join)
+        return None
     piece["k"], piece["c"] = tag
     return piece
 
@@ -526,16 +754,23 @@ def _decode_single_key(piece: dict, key_expr: ex.Expression,
 
 
 def merge_partial_results(block: QueryBlock, mode: str,
-                          pieces: List[dict]) -> Tuple[List[str],
-                                                       List[tuple]]:
+                          pieces: List[dict],
+                          options: Optional[QueryOptions] = None,
+                          counters: Optional[ScanCounters] = None,
+                          ) -> Tuple[List[str], List[tuple]]:
     """Fold every shard's pieces in global ``(block, chunk)`` order and
     run the planner's finishing tail (HAVING → SELECT → ORDER BY /
     LIMIT).  Returns ``(columns, rows)`` bit-identical to single-node
-    execution of the same block."""
+    execution of the same block.
+
+    ``options`` lets the finishing tail engage the same sort kernels
+    the fused tree would; ``counters`` collects their kernel coverage
+    (the fused executor merges operator counters the same way)."""
     pieces = sorted(pieces, key=lambda piece: (piece["k"], piece["c"]))
     if mode == "rows":
         merged = _assemble_rows(block, pieces)
-        return _finish(block, merged, project=False)
+        return _finish(block, merged, project=False,
+                       options=options, counters=counters)
     if mode == "scalar":
         op = HashAggregateOp(BatchSource([]), [], block.aggregates)
         states = [_new_state(spec) for spec in block.aggregates]
@@ -572,7 +807,8 @@ def merge_partial_results(block: QueryBlock, mode: str,
         merged = op._finish(groups, key_types)
     else:
         raise ExecutionError(f"unknown partial mode {mode!r}")
-    return _finish(block, merged, project=True)
+    return _finish(block, merged, project=True,
+                   options=options, counters=counters)
 
 
 def _merge_exact_states(state: List[List], incoming: List[List],
@@ -619,24 +855,33 @@ def _assemble_rows(block: QueryBlock, pieces: List[dict]) -> Batch:
 
 
 def _finish(block: QueryBlock, merged: Optional[Batch],
-            project: bool) -> Tuple[List[str], List[tuple]]:
+            project: bool, options: Optional[QueryOptions] = None,
+            counters: Optional[ScanCounters] = None,
+            ) -> Tuple[List[str], List[tuple]]:
     """The planner's post-aggregation tail, verbatim
     (``Planner.plan_block``): HAVING filter, SELECT projection, then
     TopK/Sort/Limit.  ``project=False`` for rows mode, whose shards
-    already projected."""
+    already projected.  With ``options``, the sort tail uses the same
+    kernels as the fused tree and reports coverage into ``counters``."""
+    enable_kernels = bool(options and options.enable_kernels)
     tree = BatchSource([merged] if merged is not None else [])
     if project:
         if block.is_aggregated and block.having is not None:
             tree = FilterOp(tree, block.having)
         if block.select:
             tree = ProjectOp(tree, block.select)
+    tail = None
     if block.order_by and block.limit is not None:
-        tree = TopKOp(tree, block.order_by, block.limit)
+        tree = tail = TopKOp(tree, block.order_by, block.limit,
+                             enable_kernels=enable_kernels)
     elif block.order_by:
-        tree = SortOp(tree, block.order_by)
+        tree = tail = SortOp(tree, block.order_by,
+                             enable_kernels=enable_kernels)
     elif block.limit is not None:
         tree = LimitOp(tree, block.limit)
     result = tree.materialize()
+    if counters is not None and tail is not None:
+        counters.merge(tail.counters)
     names = block.output_names()
     if result is None:
         return list(names), []

@@ -139,6 +139,19 @@ class ScanCounters:
     #: was evaluable on extracted columns alone (full materialization
     #: ran instead; results are identical either way).
     latemat_declines: int = 0
+    #: build-side rows shipped by a broadcast-join exchange (DESIGN.md
+    #: §10): the merged build relation's row count times the number of
+    #: shards it was broadcast to.  0 for single-node and gather runs.
+    broadcast_rows: int = 0
+    #: protocol bytes (requests sent + responses received) the
+    #: coordinator exchanged with backends to answer this query —
+    #: partial scatter, fragment planning, broadcast, or gather pages.
+    #: Always 0 for embedded single-node execution.
+    exchange_bytes: int = 0
+    #: distributed-join attempts that declined to the gather path
+    #: (non-equi joins, oversized or non-wire build sides, shard plan
+    #: disagreement) under the bit-identical-or-decline contract.
+    distjoin_declines: int = 0
 
     def merge(self, other: "ScanCounters") -> "ScanCounters":
         for field in fields(self):

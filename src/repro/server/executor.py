@@ -137,13 +137,26 @@ class QueryExecutor:
 
     def execute_partial(self, sql: str, options: Optional[QueryOptions],
                         shard_index: int, shard_count: int,
-                        expected_mode: Optional[str] = None) -> dict:
+                        expected_mode: Optional[str] = None,
+                        fragment: Optional[dict] = None) -> dict:
         """Shard side of a coordinator's scatter/gather query
         (DESIGN.md §7): bind locally, then compute JSON-serializable
         partial states over this shard's rows.  Same flush-then-lock
         discipline as :meth:`execute`, so the partial observes every
-        insert acknowledged before it started."""
-        from repro.engine.partial import execute_partial
+        insert acknowledged before it started.
+
+        With *fragment*, runs one half of a broadcast join instead
+        (DESIGN.md §10): ``{"phase": "build", "build": alias}`` scans
+        the build alias and ships its surviving rows;
+        ``{"phase": "probe", "probe", "build", "columns", "types",
+        "rows"}`` joins this shard's probe chunks against the
+        broadcast build relation.
+        """
+        from repro.engine.partial import (
+            execute_build_fragment,
+            execute_partial,
+            execute_probe_fragment,
+        )
         from repro.sql.binder import Binder
 
         with self._counter_lock:
@@ -153,13 +166,37 @@ class QueryExecutor:
             self._prepare(tables)
             with self.locks.read_locked(tables):
                 block = Binder(self.db.tables, options).bind(parse(sql))
-                return execute_partial(block, options or QueryOptions(),
+                options = options or QueryOptions()
+                if fragment is not None:
+                    if fragment.get("phase") == "build":
+                        return execute_build_fragment(
+                            block, options, shard_index, shard_count,
+                            fragment["build"])
+                    return execute_probe_fragment(
+                        block, options, shard_index, shard_count,
+                        fragment, expected_mode)
+                return execute_partial(block, options,
                                        shard_index, shard_count,
                                        expected_mode)
         finally:
             with self._counter_lock:
                 self._active -= 1
                 self.queries_executed += 1
+
+    def plan_fragments(self, sql: str,
+                       options: Optional[QueryOptions]) -> dict:
+        """Plan (never execute) a statement as a fragment DAG from this
+        shard's local statistics — the coordinator's consensus vote
+        (its own catalog skeleton carries no sketches, so orientation
+        is decided where the data lives)."""
+        from repro.engine.fragments import plan_fragments
+        from repro.sql.binder import Binder
+
+        tables = self.lock_set(sql)
+        self._prepare(tables)
+        with self.locks.read_locked(tables):
+            block = Binder(self.db.tables, options).bind(parse(sql))
+            return plan_fragments(block, options or QueryOptions()).to_dict()
 
     def explain(self, sql: str,
                 options: Optional[QueryOptions] = None) -> str:

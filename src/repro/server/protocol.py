@@ -25,15 +25,15 @@ MAX_MESSAGE_BYTES = 32 * 1024 * 1024
 #: bumped whenever the command set or a command's wire shape changes;
 #: ``hello`` exchanges it so a coordinator refuses to drive a shard
 #: built against a different protocol instead of failing mid-query
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 
 #: commands the server understands (kept here so client and server
 #: cannot drift); the cluster-facing commands (``hello`` onward) are
 #: spoken shard-to-coordinator but remain valid from any client
 COMMANDS = ("ping", "create_table", "insert", "flush", "query", "explain",
             "stats", "checkpoint", "maintenance", "shutdown",
-            "hello", "partial_query", "fetch_docs", "wal_fetch",
-            "replica_status", "export_arrow")
+            "hello", "partial_query", "plan_fragments", "fetch_docs",
+            "wal_fetch", "replica_status", "export_arrow")
 
 
 class ProtocolError(Exception):

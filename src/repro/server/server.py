@@ -665,9 +665,20 @@ class JsonTilesServer:
         result = await asyncio.wrap_future(self.executor.submit_call(
             self.executor.execute_partial, request["sql"], options,
             int(request["shard_index"]), int(request["shard_count"]),
-            request.get("mode")))
+            request.get("mode"), request.get("fragment")))
         self._bump("queries")
         return protocol.ok_response(request_id, **result)
+
+    async def _cmd_plan_fragments(self, request: dict, request_id) -> dict:
+        """Plan (never execute) a statement as a fragment DAG from this
+        shard's local statistics (DESIGN.md §10).  The coordinator
+        gathers one vote per shard and proceeds with a broadcast join
+        only on unanimity — any disagreement declines to gather."""
+        options = options_from_dict(request.get("options"),
+                                    self.default_options)
+        plan = await asyncio.wrap_future(self.executor.submit_call(
+            self.executor.plan_fragments, request["sql"], options))
+        return protocol.ok_response(request_id, plan=plan)
 
     async def _cmd_fetch_docs(self, request: dict, request_id) -> dict:
         """Page through a table's documents in row order (flushing

@@ -345,6 +345,154 @@ class TestClusterDifferential:
 # ---------------------------------------------------------------------------
 
 
+class TestDistributedJoins:
+    """Shard-side broadcast joins (DESIGN.md §10): engage on a small
+    build side, decline to gather on anything else — bit-identical to
+    the single node either way."""
+
+    # dim is 8 docs = one routed block on shard 0, so shards 1-3 plan
+    # it at cardinality 0 — every shard still votes the same
+    # orientation (320-row big probes, 8-row dim builds)
+    JOIN_SQL = (
+        "select d.data->>'label' as label, count(*) as n, "
+        "sum(b.data->>'v'::int) as s from big b, dim d "
+        "where b.data->>'k'::int = d.data->>'d'::int "
+        "group by d.data->>'label' order by label")
+
+    # force-enable so the engage/decline assertions hold even under
+    # the CI leg that ablates the default (REPRO_DISTJOIN=0)
+    ON = {"enable_distributed_joins": True}
+    OFF = {"enable_distributed_joins": False}
+
+    @pytest.fixture(scope="class")
+    def joined(self, cluster):
+        cc, sc = cluster["cc"], cluster["sc"]
+        if "big" not in cc.stats()["tables"]:
+            big = [{"k": i % 8, "v": i % 13} for i in range(320)]
+            dim = [{"d": i, "label": f"l-{i}"} for i in range(8)]
+            for name, docs in (("big", big), ("dim", dim)):
+                cc.create_table(name, "tiles", TINY)
+                sc.create_table(name, "tiles", TINY)
+                for start in range(0, len(docs), 53):
+                    cc.insert_many(name, docs[start:start + 53])
+                    sc.insert_many(name, docs[start:start + 53])
+        return cluster
+
+    @pytest.fixture(scope="class")
+    def tpch(self, cluster):
+        from repro.workloads.tpch.generator import generate_tables
+
+        cc, sc = cluster["cc"], cluster["sc"]
+        if "lineitem" not in cc.stats()["tables"]:
+            for name, docs in generate_tables(0.0005, seed=5).items():
+                cc.create_table(name, "tiles", TINY)
+                sc.create_table(name, "tiles", TINY)
+                for start in range(0, len(docs), 53):
+                    cc.insert_many(name, docs[start:start + 53])
+                    sc.insert_many(name, docs[start:start + 53])
+        return cluster
+
+    def test_broadcast_join_engages(self, joined):
+        raw = joined["cc"]._call("query", sql=self.JOIN_SQL,
+                                 options=self.ON)
+        section = raw["cluster"]
+        assert section["mode"] == "broadcast_join"
+        assert section["probe"] == "b"
+        assert section["build"] == "d"
+        assert section["join_order"] == ["d", "b"]
+        # 8 build rows broadcast to every shard
+        assert section["broadcast_rows"] == 8 * SHARDS
+        assert section["exchange_bytes"] > 0
+        ref = joined["sc"].query(self.JOIN_SQL)
+        assert raw["columns"] == ref.columns
+        assert [tuple(row) for row in raw["rows"]] == _rows(ref)
+
+    def test_distjoin_off_falls_back_to_gather(self, joined):
+        on = joined["cc"]._call("query", sql=self.JOIN_SQL,
+                                options=self.ON)
+        off = joined["cc"]._call("query", sql=self.JOIN_SQL,
+                                 options=self.OFF)
+        assert off["cluster"]["mode"] == "gather"
+        assert off["columns"] == on["columns"]
+        assert off["rows"] == on["rows"]
+
+    def test_non_equi_join_declines_counted(self, joined):
+        sql = ("select count(*) as n from big b, dim d "
+               "where b.data->>'k'::int < d.data->>'d'::int")
+        before = joined["cc"].stats()["counters"]["distjoin_declines"]
+        raw = joined["cc"]._call("query", sql=sql, options=self.ON)
+        assert raw["cluster"]["mode"] == "gather"
+        stats = joined["cc"].stats()
+        assert stats["counters"]["distjoin_declines"] == before + 1
+        assert stats["last_distjoin_decline"] == "cross-product"
+        assert [tuple(row) for row in raw["rows"]] == \
+            _rows(joined["sc"].query(sql))
+
+    def test_build_cap_declines_to_gather(self, joined):
+        raw = joined["cc"]._call(
+            "query", sql=self.JOIN_SQL,
+            options=dict(self.ON, broadcast_max_rows=4))
+        assert raw["cluster"]["mode"] == "gather"
+        stats = joined["cc"].stats()
+        assert stats["last_distjoin_decline"] == "build-too-large"
+        assert [tuple(row) for row in raw["rows"]] == \
+            _rows(joined["sc"].query(self.JOIN_SQL))
+
+    def test_stats_expose_join_telemetry(self, joined):
+        joined["cc"]._call("query", sql=self.JOIN_SQL, options=self.ON)
+        stats = joined["cc"].stats()
+        counters = stats["counters"]
+        assert counters["distributed_joins"] > 0
+        assert counters["broadcast_rows"] >= 8 * SHARDS
+        assert counters["exchange_bytes"] > 0
+        assert stats["last_join_order"] == ["d", "b"]
+
+    def test_explain_announces_broadcast_strategy(self, joined):
+        plan = joined["cc"].explain(self.JOIN_SQL, options=self.ON)
+        assert "broadcast join (on unanimous shard vote)" in plan
+        assert "build[d] =broadcast=> probe[b]" in plan
+
+    @pytest.mark.parametrize("name", [1, 3, 5])
+    def test_yelp_joins_on_off_identical(self, cluster, name):
+        on = cluster["cc"]._call(
+            "query", sql=YELP_QUERIES[name],
+            options=TestDistributedJoins.ON)
+        off = cluster["cc"]._call(
+            "query", sql=YELP_QUERIES[name],
+            options=TestDistributedJoins.OFF)
+        assert on["columns"] == off["columns"]
+        assert on["rows"] == off["rows"]
+
+    def test_twitter_self_join_on_off_identical(self, cluster):
+        sql = ("select a.data->>'lang' as lang, count(*) as n "
+               "from tweets a, tweets b "
+               "where a.data->>'id'::int = b.data->>'id'::int "
+               "group by a.data->>'lang' order by n desc, lang")
+        on = cluster["cc"]._call("query", sql=sql,
+                                 options=TestDistributedJoins.ON)
+        off = cluster["cc"]._call("query", sql=sql,
+                                  options=TestDistributedJoins.OFF)
+        ref = cluster["sc"].query(sql)
+        assert on["columns"] == off["columns"] == ref.columns
+        assert on["rows"] == off["rows"]
+        assert [tuple(row) for row in on["rows"]] == _rows(ref)
+
+    @pytest.mark.parametrize("number", [3, 4, 12, 14])
+    def test_tpch_joins_bit_identical(self, tpch, number):
+        from repro.workloads.tpch import TPCH_QUERIES
+
+        sql = TPCH_QUERIES[number]
+        ref = tpch["sc"].query(sql)
+        on = tpch["cc"]._call("query", sql=sql, options=self.ON)
+        off = tpch["cc"]._call("query", sql=sql, options=self.OFF)
+        assert on["columns"] == off["columns"] == ref.columns
+        assert [tuple(row) for row in on["rows"]] == _rows(ref)
+        assert on["rows"] == off["rows"]
+
+
+# ---------------------------------------------------------------------------
+
+
 class TestReplicaAndFailures:
     def _wait(self, predicate, timeout=15.0):
         deadline = time.time() + timeout

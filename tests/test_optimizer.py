@@ -54,6 +54,75 @@ class TestJoinOrdering:
         assert result.scalar() == 2000
 
 
+class TestDPOrderCorners:
+    """`_dp_order` edge behaviour: forced cross products, the >11-alias
+    syntactic fallback, and order-sensitivity under statistics."""
+
+    DISCONNECTED = """
+select count(*) as n
+from facts f, dim1 a, dim2 b
+where f.data->>'f_dim1'::int = a.data->>'d1_id'::int
+"""
+
+    NO_EDGES = """
+select count(*) as n from facts f, dim1 a, dim2 b
+"""
+
+    def _join_order(self, database, sql, **kw):
+        from repro.engine.optimizer import Planner
+        from repro.sql.binder import Binder
+        from repro.sql.parser import parse
+
+        options = QueryOptions(**kw)
+        block = Binder(database.tables, options).bind(parse(sql))
+        planner = Planner(options)
+        planned, edges, _residuals = planner.fragment_inputs(block)
+        aliases = [source.alias for source in block.sources]
+        return planner.join_order(aliases, planned, edges)
+
+    def test_disconnected_graph_forces_cross_product_last(self, db):
+        # dim2 has no edge to anyone: the DP admits its cross product
+        # only against subsets nothing else connects to, and C_out
+        # pushes the 2000-row fact fold to the end (tiny b x a first)
+        order = self._join_order(db, self.DISCONNECTED)
+        assert sorted(order) == ["a", "b", "f"]
+        assert order[-1] == "f"
+
+    def test_fully_disconnected_graph_orders_by_cardinality(self, db):
+        # no edges at all: every join is a cross product and the DP
+        # folds smallest-first (5 x 20, then x 2000)
+        order = self._join_order(db, self.NO_EDGES)
+        assert order == ["b", "a", "f"]
+
+    def test_disconnected_results_match_syntactic(self, db):
+        smart = db.sql(self.DISCONNECTED)
+        naive = db.sql(self.DISCONNECTED,
+                       QueryOptions(use_statistics=False))
+        # every fact matches exactly one dim1 row, crossed with dim2
+        assert smart.scalar() == 2000 * 5
+        assert smart.rows == naive.rows
+
+    def test_twelve_aliases_fall_back_to_syntactic(self, db):
+        aliases = [f"t{i}" for i in range(12)]
+        froms = ", ".join(f"dim2 {alias}" for alias in aliases)
+        chain = " and ".join(
+            f"{a}.data->>'d2_id'::int = {b}.data->>'d2_id'::int"
+            for a, b in zip(aliases, aliases[1:]))
+        sql = f"select count(*) as n from {froms} where {chain}"
+        # 12 aliases exceed the DP's subset budget: written order
+        assert self._join_order(db, sql) == aliases
+        # the chained self-equi-join keeps one row per d2_id
+        assert db.sql(sql).scalar() == 5
+
+    def test_statistics_change_the_order(self, db):
+        # the differential that shows ordering is statistics-driven:
+        # same rows, different join order with stats off
+        smart = db.sql(THREE_WAY)
+        naive = db.sql(THREE_WAY, QueryOptions(use_statistics=False))
+        assert smart.join_order != naive.join_order
+        assert smart.rows == naive.rows
+
+
 class TestCardinalityEstimation:
     def test_scan_estimate_uses_equality_selectivity(self, db):
         from repro.engine.optimizer import PlannedScan, Planner
